@@ -1,0 +1,125 @@
+"""Efficiency ablation (§III-A) — LiteView's communication-energy cost.
+
+The paper's efficiency goal: "the implemented commands will introduce
+zero extra overhead if not activated", and command overhead itself is
+small (two packets for one-hop ping).  This bench quantifies both in
+energy terms, using the CC2420 transmit-current model:
+
+* idle deployment: all transmit energy is kernel beacons — LiteView's
+  share is exactly zero;
+* an active management session (pings + traceroutes + config): the
+  management share of transmit energy stays modest against the beacon
+  baseline over the same period;
+* beacon-frequency ablation (the `update` command's trade-off): faster
+  beacons buy faster silent-neighbor detection at proportionally higher
+  energy.
+"""
+
+import pytest
+
+from repro.analysis import energy_report, render_table
+from repro.core.deploy import deploy_liteview
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+MANAGEMENT_KINDS = ("ping", "traceroute", "control", "geographic",
+                    "dsdv", "flood")
+
+
+def idle_energy(duration=60.0):
+    testbed = build_chain(4, spacing=60.0, seed=5,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    deploy_liteview(testbed, warm_up=duration)
+    return energy_report(testbed.monitor.packets)
+
+
+def test_idle_deployment_spends_nothing_on_liteview(benchmark, report):
+    energy = benchmark.pedantic(idle_energy, rounds=1, iterations=1)
+    # Zero-overhead-when-inactive, in energy terms.
+    for kind in MANAGEMENT_KINDS:
+        assert energy.kind_fraction(kind) == 0.0
+    assert energy.kind_fraction("beacon") == pytest.approx(1.0)
+
+    report("efficiency_idle", render_table(
+        ["traffic_class", "airtime_s", "share"],
+        [[k, round(v, 4),
+          f"{100 * energy.kind_fraction(k):.1f}%"]
+         for k, v in sorted(energy.airtime_by_kind.items())],
+        title="Efficiency — idle deployment, 60 s (beacons only)",
+    ))
+
+
+def test_active_session_energy_share(benchmark, report):
+    """One management session against the 60 s beacon baseline."""
+    testbed = build_chain(4, spacing=60.0, seed=5,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    dep.login("192.168.0.1")
+
+    def session():
+        dep.run("ping 192.168.0.2 round=3 length=32")
+        dep.run("traceroute 192.168.0.4 round=1 port=10")
+        dep.run("power 31")
+        testbed.warm_up(max(0.0, 60.0 - testbed.env.now))
+        return energy_report(testbed.monitor.packets)
+
+    energy = benchmark.pedantic(session, rounds=1, iterations=1)
+    management = sum(energy.kind_fraction(k) for k in MANAGEMENT_KINDS)
+    # A full diagnosis session costs less transmit energy than the
+    # kernel's own beaconing over the same minute.
+    assert 0.0 < management < energy.kind_fraction("beacon")
+
+    rows = [[k, round(v, 4), f"{100 * energy.kind_fraction(k):.1f}%"]
+            for k, v in sorted(energy.airtime_by_kind.items())]
+    rows.append(["(management total)", "-", f"{100 * management:.1f}%"])
+    report("efficiency_active", render_table(
+        ["traffic_class", "airtime_s", "share"], rows,
+        title=("Efficiency — one management session within a 60 s "
+               "window"),
+    ))
+
+
+def test_beacon_frequency_tradeoff(benchmark, report):
+    """The `update` command's knob: detection latency vs beacon energy."""
+
+    def measure(interval):
+        testbed = build_chain(3, spacing=60.0, seed=5,
+                              propagation_kwargs=QUIET_PROPAGATION)
+        dep = deploy_liteview(testbed, warm_up=5.0)
+        for node in testbed.nodes():
+            node.neighbors.set_beacon_interval(interval)
+        testbed.warm_up(4 * interval)  # settle at the new rate
+        window_start = testbed.env.now
+        # Silence node 3 and measure how long node 2 takes to notice.
+        testbed.node(3).xcvr.enabled = False
+        silenced_at = testbed.env.now
+        while (testbed.node(2).neighbors.lookup(3) is not None
+               and testbed.env.now - silenced_at < 60 * interval):
+            testbed.warm_up(interval / 4)
+        detection = testbed.env.now - silenced_at
+        beacons = sum(
+            1 for r in testbed.monitor.packets
+            if r.kind == "beacon" and r.time >= window_start
+        )
+        rate = beacons / (testbed.env.now - window_start)
+        return detection, rate
+
+    results = {
+        interval: measure(interval) for interval in (0.5, 1.0, 2.0, 4.0)
+    }
+    benchmark.pedantic(measure, args=(2.0,), rounds=1, iterations=1)
+
+    detections = [results[i][0] for i in (0.5, 1.0, 2.0, 4.0)]
+    rates = [results[i][1] for i in (0.5, 1.0, 2.0, 4.0)]
+    # Faster beacons → faster detection of the silent neighbor ...
+    assert detections[0] < detections[-1]
+    # ... but proportionally more transmissions.
+    assert rates[0] > 3 * rates[-1]
+
+    report("beacon_tradeoff", render_table(
+        ["beacon_interval_s", "silent_node_detection_s",
+         "beacons_per_s"],
+        [[i, round(results[i][0], 1), round(results[i][1], 2)]
+         for i in (0.5, 1.0, 2.0, 4.0)],
+        title="Ablation — beacon frequency (the `update` command)",
+    ))

@@ -1,0 +1,86 @@
+"""Figure 6 — per-hop RSSI readings at two power levels.
+
+Paper setup: "Figure 6 shows the collected RSSI values with two different
+power level settings, at 10 and 25, respectively", for forward and
+backward links across the 8-hop path, collected via traceroute "within a
+few seconds".
+
+Shape to reproduce:
+
+* both forward and backward series at power 25 sit clearly above the
+  power-10 series (the PA table separates the levels by ~10 dB);
+* forward and backward readings differ per hop (asymmetric links);
+* readings lie in the plausible register range of the paper's plot.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core.deploy import deploy_liteview
+from repro.radio import power_level_to_dbm
+from repro.workloads import corridor_chain
+
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    testbed = corridor_chain(9, seed=SEED)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    return dep
+
+
+def collect_rssi(dep, power_level, attempts=8):
+    """Run traceroute at a power level; returns {hop: (fwd, bwd)}."""
+    tb = dep.testbed
+    for node in tb.nodes():
+        node.radio.set_power_level(power_level)
+    service = dep.traceroute_services[1]
+    for _attempt in range(attempts):
+        proc = tb.env.process(
+            service.traceroute(9, rounds=1, length=32, routing_port=10)
+        )
+        result = tb.env.run(until=proc)
+        readings = {
+            h.hop_index: (h.link.rssi_forward, h.link.rssi_backward)
+            for h in result.hops
+        }
+        if len(readings) == 8:
+            return readings
+    raise AssertionError(
+        f"no complete RSSI sweep at power {power_level} "
+        f"in {attempts} runs"
+    )
+
+
+def test_fig6_rssi_vs_power(benchmark, deployment, report):
+    benchmark.pedantic(
+        collect_rssi, args=(deployment, 25), rounds=2, iterations=1,
+    )
+    at_25 = collect_rssi(deployment, 25)
+    at_10 = collect_rssi(deployment, 10)
+
+    # -- paper-shape assertions --------------------------------------
+    expected_gap = power_level_to_dbm(25) - power_level_to_dbm(10)
+    for hop in range(1, 9):
+        f25, b25 = at_25[hop]
+        f10, b10 = at_10[hop]
+        # Power 25 curves sit above power 10 on every hop, by roughly
+        # the PA-table gap (fading/measurement noise allowed for).
+        assert f25 > f10 and b25 > b10, f"hop {hop}: power ordering"
+        assert f25 - f10 == pytest.approx(expected_gap, abs=6.0)
+        # Register-reading plausibility (the paper's axis spans ~0..-60).
+        for v in (f25, b25, f10, b10):
+            assert -70 <= v <= 10
+    # Asymmetry: somewhere along the path forward != backward visibly.
+    assert any(abs(f - b) >= 2 for f, b in at_25.values())
+
+    rows = [
+        [hop, at_10[hop][0], at_10[hop][1], at_25[hop][0], at_25[hop][1]]
+        for hop in range(1, 9)
+    ]
+    report("fig6_rssi_power", render_table(
+        ["hop", "fwd@10", "bwd@10", "fwd@25", "bwd@25"], rows,
+        title=("Figure 6 — traceroute RSSI readings "
+               "(power levels 10 vs 25, forward/backward links)"),
+    ))

@@ -1,0 +1,77 @@
+"""E4 (§IV-C.5/6) — command image footprints vs MicaZ budgets.
+
+Paper: the ping binary "consumes 2148 bytes of flash and 278 bytes of
+static RAM"; traceroute "2820 bytes of flash and 272 bytes of static
+RAM"; both called "well acceptable even on the resource-constrained
+MicaZ nodes" (128 KB flash / 4 KB RAM).
+
+Binary sizes cannot be reproduced in Python (see DESIGN.md); this bench
+replays the paper's numbers through the accounting model and asserts the
+acceptability claim: both commands plus the kernel and controller fit
+with ample headroom, and each command costs under 3 % of flash and under
+7 % of RAM.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.kernel.memory import (
+    FLASH_BUDGET_BYTES,
+    KERNEL_FLASH_BYTES,
+    KERNEL_RAM_BYTES,
+    PAPER_FOOTPRINTS,
+    RAM_BUDGET_BYTES,
+    MemoryModel,
+)
+
+
+def install_suite():
+    mm = MemoryModel()
+    mm.install("kernel", KERNEL_FLASH_BYTES, KERNEL_RAM_BYTES)
+    for name, (flash, ram) in sorted(PAPER_FOOTPRINTS.items()):
+        mm.install(name, flash, ram)
+    return mm
+
+
+def test_footprints_fit_mote_budgets(benchmark, report):
+    mm = benchmark(install_suite)
+
+    # -- paper-value assertions --------------------------------------
+    assert PAPER_FOOTPRINTS["ping"] == (2148, 278)
+    assert PAPER_FOOTPRINTS["traceroute"] == (2820, 272)
+    assert mm.flash_free > 0 and mm.ram_free > 0
+    for name, (flash, ram) in PAPER_FOOTPRINTS.items():
+        assert flash / FLASH_BUDGET_BYTES < 0.03, name
+        assert ram / RAM_BUDGET_BYTES < 0.07, name
+
+    rows = []
+    for name, (flash, ram) in sorted(PAPER_FOOTPRINTS.items()):
+        rows.append([
+            name, flash, ram,
+            f"{100 * flash / FLASH_BUDGET_BYTES:.2f}%",
+            f"{100 * ram / RAM_BUDGET_BYTES:.2f}%",
+        ])
+    rows.append(["(total installed)", mm.flash_used, mm.ram_used,
+                 f"{100 * mm.flash_used / FLASH_BUDGET_BYTES:.2f}%",
+                 f"{100 * mm.ram_used / RAM_BUDGET_BYTES:.2f}%"])
+    report("e4_footprint", render_table(
+        ["image", "flash_B", "ram_B", "flash_frac", "ram_frac"], rows,
+        title=("E4 — command image footprints (paper values) vs MicaZ "
+               "budgets (128 KB flash / 4 KB RAM)"),
+    ))
+
+
+def test_overcommit_is_rejected(benchmark):
+    """The admission side of the model: a hog that exceeds RAM fails."""
+    from repro.errors import MemoryBudgetExceeded
+
+    def attempt():
+        mm = install_suite()
+        try:
+            mm.install("hog", 1024, RAM_BUDGET_BYTES)
+        except MemoryBudgetExceeded:
+            return mm
+        raise AssertionError("overcommit must be rejected")
+
+    mm = benchmark(attempt)
+    assert mm.lookup("hog") is None

@@ -1,0 +1,93 @@
+"""E5 (§IV-C.3) — link-quality padding capacity.
+
+Paper: "as the probe packet has a payload of 16 bytes, as each hop takes
+two bytes in padding, a packet could at most travel 24 hops before the
+padding runs out of space.  This is sufficient for most applications."
+
+Shape to reproduce: the 16-byte-probe/24-hop arithmetic, the growth of
+the packet along its path (live, over a real multi-hop ping), and the
+fact that padding never corrupts the data payload.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core.deploy import deploy_liteview
+from repro.net import PAYLOAD_REGION_BYTES, Packet, max_padded_hops
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+def capacity_table():
+    return [
+        (payload, max_padded_hops(payload))
+        for payload in (0, 8, 16, 24, 32, 48, 62, 64)
+    ]
+
+
+def test_padding_capacity_table(benchmark, report):
+    rows = benchmark(capacity_table)
+
+    # -- paper-value assertions --------------------------------------
+    as_dict = dict(rows)
+    assert as_dict[16] == 24, "the paper's 16-byte probe records 24 hops"
+    assert as_dict[64] == 0
+    assert as_dict[0] == PAYLOAD_REGION_BYTES // 2
+
+    report("e5_padding_capacity", render_table(
+        ["payload_B", "max_padded_hops"], [list(r) for r in rows],
+        title="E5 — padding hop budget vs payload size (64 B region)",
+    ))
+
+
+def test_padding_grows_on_air_and_preserves_payload(benchmark):
+    """Live check: the padded probe grows 2 B per hop and the payload
+    bytes delivered at the destination are untouched."""
+    testbed = build_chain(5, spacing=60.0, seed=7,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    tb = dep.testbed
+
+    def run():
+        start = len(tb.monitor.packets)
+        service = dep.ping_services[1]
+        proc = tb.env.process(service.ping(5, rounds=1, length=16,
+                                           routing_port=10))
+        result = tb.env.run(until=proc)
+        sizes = [r.size_bytes for r in tb.monitor.packets[start:]
+                 if r.kind in ("ping", "geographic")]
+        return result, sizes
+
+    result, sizes = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.received == 1
+    # 4 hops out + 4 hops back: the frame grows exactly 2 B per
+    # traversed hop, with a single discontinuity where the probe turns
+    # into the (differently-sized) reply at the destination.
+    deltas = [b - a for a, b in zip(sizes, sizes[1:])]
+    assert deltas.count(2) >= 5
+    assert sum(1 for d in deltas if d != 2) <= 1
+    assert max(sizes) - min(sizes) >= 2 * 3
+    # The delivered forward path covers every hop: padding recorded all
+    # the way without touching the 16 filler bytes (the probe parsed
+    # correctly at the destination, or no reply would have come back).
+    assert len(result.rounds[0].forward_path) == 4
+
+
+def test_hop_budget_enforced_beyond_capacity(benchmark):
+    """A packet whose padding region fills up is dropped, not corrupted:
+    routed over more hops than the budget allows, it never arrives."""
+
+    def run():
+        packet = Packet(port=10, origin=1, dest=2, payload=b"p" * 62,
+                        padding_enabled=True)
+        packet.add_hop_quality(100, -50)  # one slot exists
+        from repro.errors import PaddingOverflow
+        try:
+            packet.add_hop_quality(100, -50)
+        except PaddingOverflow:
+            return packet
+        raise AssertionError("second hop must overflow a 62 B payload")
+
+    packet = benchmark(run)
+    assert len(packet.hop_quality) == 1
+    assert packet.payload == b"p" * 62

@@ -1,0 +1,80 @@
+"""An interactive LiteView shell over a simulated testbed.
+
+Drops you into the LiteOS-shell-like command interpreter on a live
+simulated deployment: a jittered 30-node field plus a management
+workstation.  Type ``help`` for the command list; ``cd <node>`` to log
+into a node (the workstation "walks" there); ``quit`` to leave.
+
+Commands include everything the paper's toolkit offers —
+``ping``/``traceroute`` (``port=10`` routes multi-hop), ``power`` /
+``channel`` / ``scan``, ``group radio|power|channel``,
+``neighborsetup``/``list``/``blacklist``/``update``, and the kernel
+``events`` log.
+
+When stdin is not a terminal (CI), a canned session is replayed instead.
+
+Run with::
+
+    python examples/interactive_shell.py [seed]
+"""
+
+import sys
+
+from repro.core.deploy import deploy_liteview
+from repro.errors import ReproError
+from repro.workloads import thirty_node_field
+
+CANNED_SESSION = [
+    "ls",
+    "cd 192.168.0.1",
+    "pwd",
+    "ping 192.168.0.2 round=1 length=32",
+    "traceroute 192.168.0.7 round=1 port=10",
+    "neighborsetup",
+    "list",
+    "exit",
+    "scan first=15 count=4 samples=3",
+    "events",
+    "quit",
+]
+
+
+def main(seed: int = 3) -> None:
+    print("building a 30-node testbed (seed %d) ..." % seed)
+    testbed = thirty_node_field(seed=seed)
+    deployment = deploy_liteview(testbed, warm_up=15.0)
+    interpreter = deployment.interpreter
+    interactive = sys.stdin.isatty()
+    print("LiteView shell — `help` lists commands, `cd <node>` logs in, "
+          "`quit` exits.\n")
+
+    canned = iter(CANNED_SESSION)
+    while True:
+        prompt = "$ "
+        if interactive:
+            try:
+                line = input(prompt)
+            except EOFError:
+                break
+        else:
+            line = next(canned, None)
+            if line is None:
+                break
+            print(f"{prompt}{line}")
+        line = line.strip()
+        if line in ("quit", "q"):
+            break
+        if line.startswith("cd ") and line.split()[1] in testbed:
+            # Logging into a node includes walking the workstation there.
+            deployment.workstation.attach_near(line.split()[1])
+        try:
+            output = interpreter.execute(line)
+        except ReproError as exc:
+            output = f"error: {exc}"
+        if output:
+            print(output)
+    print(f"\n(simulated time: {testbed.env.now:.1f} s)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

@@ -1,0 +1,68 @@
+"""Protocol comparison: one ping command, three routing protocols.
+
+Demonstrates the paper's protocol-independence design (§IV-A.1): the
+ping and traceroute executables never change; the ``port=`` parameter
+selects which of the co-installed routing protocols carries the probes.
+"Users may install each protocol sequentially, and measure the protocol
+performance" — here all three are installed side by side and measured
+back to back.
+
+Run with::
+
+    python examples/protocol_comparison.py [seed]
+"""
+
+import sys
+
+from repro.analysis import packets_between, render_table
+from repro.core.deploy import deploy_liteview
+from repro.net import (
+    DsdvRouting,
+    FloodingProtocol,
+    GeographicForwarding,
+    WellKnownPorts,
+)
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+def main(seed: int = 4) -> None:
+    testbed = build_chain(5, spacing=60.0, seed=seed,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    for node in testbed.nodes():
+        node.install_protocol(GeographicForwarding)
+        node.install_protocol(DsdvRouting)
+        node.install_protocol(FloodingProtocol)
+    deployment = deploy_liteview(testbed, protocol=None, warm_up=40.0)
+    deployment.login("192.168.0.1")
+
+    rows = []
+    for name, port in [
+        ("geographic forwarding", WellKnownPorts.GEOGRAPHIC),
+        ("dsdv", WellKnownPorts.DSDV),
+        ("flooding", WellKnownPorts.FLOODING),
+    ]:
+        start = testbed.env.now
+        deployment.run(
+            f"ping 192.168.0.5 round=8 length=16 port={port}"
+        )
+        result = deployment.interpreter.last_result
+        packets = packets_between(testbed.monitor, start, testbed.env.now,
+                                  exclude_kinds=("beacon", "control"))
+        rtt = ("-" if result.mean_rtt_ms is None
+               else f"{result.mean_rtt_ms:.1f}")
+        rows.append([name, port, f"{result.received}/{result.sent}",
+                     rtt, len(packets)])
+
+    print(render_table(
+        ["protocol", "port", "delivered", "mean_rtt_ms", "radio_packets"],
+        rows,
+        title=("multi-hop ping 192.168.0.1 -> 192.168.0.5 "
+               "(same command, port= selects the protocol)"),
+    ))
+    print("\nsame ping binary every time — only the port parameter "
+          "changed; no recompilation, exactly the paper's design goal.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

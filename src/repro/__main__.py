@@ -1,0 +1,63 @@
+"""``python -m repro`` — launch the interactive LiteView shell.
+
+Builds a 30-node simulated testbed with LiteView deployed everywhere and
+drops into the shell-style command interpreter.  ``--seed N`` selects
+the world; ``--nodes chain:K`` swaps the field for a K-node chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.deploy import deploy_liteview
+from repro.errors import ReproError
+from repro.workloads import build_chain, thirty_node_field
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+def build_testbed(spec: str, seed: int):
+    if spec == "field":
+        return thirty_node_field(seed=seed)
+    if spec.startswith("chain:"):
+        return build_chain(int(spec.split(":", 1)[1]), seed=seed,
+                           propagation_kwargs=QUIET_PROPAGATION)
+    raise SystemExit(f"unknown topology spec {spec!r} "
+                     "(use 'field' or 'chain:K')")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive LiteView shell on a simulated testbed.",
+    )
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--nodes", default="field",
+                        help="'field' (30 nodes) or 'chain:K'")
+    args = parser.parse_args(argv)
+
+    testbed = build_testbed(args.nodes, args.seed)
+    deployment = deploy_liteview(testbed, warm_up=15.0)
+    interpreter = deployment.interpreter
+    print(f"LiteView shell on {len(testbed)} nodes (seed {args.seed}). "
+          "`help` lists commands, `cd <node>` logs in, `quit` exits.")
+    while True:
+        try:
+            line = input("$ ").strip()
+        except EOFError:
+            break
+        if line in ("quit", "q", "exit") and not interpreter.neighbor_mode:
+            break
+        if line.startswith("cd ") and line.split()[1] in testbed:
+            deployment.workstation.attach_near(line.split()[1])
+        try:
+            output = interpreter.execute(line)
+        except ReproError as exc:
+            output = f"error: {exc}"
+        if output:
+            print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Radio energy accounting from the packet log.
+
+LiteView's efficiency goal (§III-A) is "measured by the footprint of
+LiteView and its communication overhead".  Communication overhead *is*
+transmit energy on a mote: every logged transmission's on-air time,
+multiplied by the CC2420's transmit current at the sender's power level.
+This module derives per-node and per-traffic-class energy from the
+monitor's packet log — no extra instrumentation in the protocols.
+
+Receive/idle-listening energy is deliberately excluded: with an
+always-on radio it is a constant ~19.7 mA regardless of what LiteView
+does, so the *differential* cost of management traffic is all in the
+transmissions (plus the receivers' decode time, proportional to the same
+airtime).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.monitor import PacketRecord
+from repro.units import BYTE_AIRTIME
+
+__all__ = ["TX_CURRENT_MA", "SUPPLY_VOLTAGE", "tx_current_ma",
+           "EnergyReport", "energy_report"]
+
+#: CC2420 transmit current draw (mA) at selected PA levels (datasheet
+#: table 9): level → mA.
+TX_CURRENT_MA = {31: 17.4, 27: 16.5, 23: 15.2, 19: 13.9,
+                 15: 12.5, 11: 11.2, 7: 9.9, 3: 8.5}
+#: Typical mote supply voltage.
+SUPPLY_VOLTAGE = 3.0
+
+_LEVELS = np.array(sorted(TX_CURRENT_MA), dtype=float)
+_CURRENTS = np.array([TX_CURRENT_MA[int(l)] for l in _LEVELS])
+
+
+def tx_current_ma(power_level: int) -> float:
+    """Interpolated transmit current at a PA level."""
+    if not 0 <= power_level <= 31:
+        raise ValueError(f"PA level {power_level} outside 0..31")
+    return float(np.interp(power_level, _LEVELS, _CURRENTS))
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Transmit airtime and energy, grouped by node and traffic class."""
+
+    airtime_by_node: dict[int, float]        # seconds
+    airtime_by_kind: dict[str, float]        # seconds
+    energy_mj_by_node: dict[int, float]      # millijoules
+    total_airtime: float
+    total_energy_mj: float
+
+    def kind_fraction(self, kind: str) -> float:
+        """Share of total airtime attributable to one traffic class."""
+        if self.total_airtime == 0:
+            return 0.0
+        return self.airtime_by_kind.get(kind, 0.0) / self.total_airtime
+
+
+def energy_report(records: _t.Iterable[PacketRecord],
+                  power_levels: _t.Mapping[int, int] | None = None,
+                  ) -> EnergyReport:
+    """Aggregate transmit energy from a packet log.
+
+    ``power_levels`` maps node id → PA level; nodes missing from the map
+    are assumed at full power.  (The log does not carry per-frame power;
+    pass the levels in force during the analysed window.)
+    """
+    airtime_node: dict[int, float] = defaultdict(float)
+    airtime_kind: dict[str, float] = defaultdict(float)
+    energy_node: dict[int, float] = defaultdict(float)
+    for record in records:
+        airtime = record.size_bytes * BYTE_AIRTIME
+        airtime_node[record.sender] += airtime
+        airtime_kind[record.kind] += airtime
+        level = 31 if power_levels is None else power_levels.get(
+            record.sender, 31)
+        current_a = tx_current_ma(level) / 1000.0
+        energy_node[record.sender] += (
+            airtime * current_a * SUPPLY_VOLTAGE * 1000.0  # mJ
+        )
+    total_airtime = sum(airtime_node.values())
+    return EnergyReport(
+        airtime_by_node=dict(airtime_node),
+        airtime_by_kind=dict(airtime_kind),
+        energy_mj_by_node=dict(energy_node),
+        total_airtime=total_airtime,
+        total_energy_mj=sum(energy_node.values()),
+    )

@@ -1,0 +1,55 @@
+"""ASCII rendering of experiment tables and figure series.
+
+The benchmark harness prints every regenerated table/figure in a uniform
+format so EXPERIMENTS.md can quote bench output verbatim.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: _t.Sequence[str],
+                 rows: _t.Sequence[_t.Sequence[object]],
+                 title: str | None = None) -> str:
+    """A fixed-width ASCII table."""
+    cells = [[_stringify(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(row: _t.Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_series(title: str, pairs: _t.Sequence[tuple[object, object]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """A two-column series (one paper figure's data)."""
+    return render_table([x_label, y_label], list(pairs), title=title)
+
+
+def render_kv(title: str, items: _t.Mapping[str, object]) -> str:
+    """Key/value block for scalar experiment outputs."""
+    width = max((len(k) for k in items), default=0)
+    lines = [title]
+    lines.extend(f"  {k.ljust(width)} : {_stringify(v)}"
+                 for k, v in items.items())
+    return "\n".join(lines)

@@ -1,0 +1,316 @@
+"""The runtime controller: LiteView's node-side half (§IV-B).
+
+One controller runs on every managed node.  It listens on the control
+port behind the reliable protocol, executes management requests —
+reading kernel state through system calls, mutating the neighbor table's
+blacklist flags, retuning the radio — and starts command processes for
+``ping``/``traceroute`` runs, passing their parameters through the
+kernel's parameter buffer exactly the way §IV-C.4 describes.
+
+Replies are delayed by a random backoff ("these nodes wait for random
+backoff delays before sending responses, so that their packets will not
+collide") within the interpreter's fixed response window.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing as _t
+
+from repro.core.commands.ping import PingService
+from repro.core.commands.traceroute import TracerouteService
+from repro.core.reliable import ReliableEndpoint
+from repro.core.results import NeighborView
+from repro.core.serialize import (
+    encode_neighbor_views,
+    encode_ping_result,
+    encode_trace_result,
+)
+from repro.core.wire import MsgType
+from repro.errors import ReproError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.node import SensorNode
+
+__all__ = ["RuntimeController", "install_controller", "Status"]
+
+#: Modelled controller image footprint (flash, RAM) — same order as the
+#: paper's command images.
+CONTROLLER_FOOTPRINT = (1960, 180)
+
+
+class Status:
+    """Reply status codes."""
+
+    OK = 0
+    ERROR = 1
+    UNSUPPORTED = 2
+
+
+def install_controller(node: "SensorNode", **kwargs: object
+                       ) -> "RuntimeController":
+    """Install the runtime controller on a node (flash/RAM accounted)."""
+    node.memory.install("liteview-controller", *CONTROLLER_FOOTPRINT)
+    controller = RuntimeController(node, **kwargs)  # type: ignore[arg-type]
+    node.services["controller"] = controller
+    return controller
+
+
+class RuntimeController:
+    """Node-side request executor."""
+
+    def __init__(self, node: "SensorNode", *,
+                 response_backoff: float = 0.3):
+        self.node = node
+        #: Replies wait a uniform draw from [0, response_backoff] before
+        #: transmitting — the group-response collision avoidance.
+        self.response_backoff = float(response_backoff)
+        self._rng = node.rng.stream(f"controller.{node.id}")
+        self.endpoint = ReliableEndpoint(node, self._on_request)
+        #: Action a handler deferred until after its reply is delivered
+        #: (e.g. a channel switch, which would otherwise strand the
+        #: reply on the old channel).
+        self._post_reply: _t.Callable[[], None] | None = None
+
+    # -- request intake ------------------------------------------------------
+
+    def _on_request(self, origin: int, message: bytes) -> None:
+        if len(message) < 3:
+            self.node.monitor.count("controller.malformed_requests")
+            return
+        self.node.monitor.count("controller.requests")
+        self.node.threads.spawn(
+            "controller-request", self._serve(origin, message)
+        )
+
+    def _serve(self, origin: int, message: bytes):
+        msg_type = message[0]
+        request_id = struct.unpack_from(">H", message, 1)[0]
+        body = message[3:]
+        if self.response_backoff > 0:
+            yield self.node.env.timeout(
+                float(self._rng.uniform(0.0, self.response_backoff))
+            )
+        try:
+            handler = self._handlers().get(msg_type)
+            if handler is None:
+                status, reply = Status.UNSUPPORTED, b""
+            else:
+                outcome = handler(body)
+                # Handlers returning generators need to be driven (the
+                # run-command handlers wait for the command to finish).
+                if hasattr(outcome, "send"):
+                    outcome = yield from outcome
+                status, reply = outcome
+        except (ReproError, ValueError) as exc:
+            # Command-level failures (bad parameters, kernel refusals)
+            # become error replies; they must never kill the controller.
+            self.node.monitor.count("controller.errors")
+            status, reply = Status.ERROR, str(exc).encode()[:48]
+        payload = (bytes([MsgType.REPLY])
+                   + struct.pack(">HB", request_id, status) + reply)
+        delivered = yield from self.endpoint.send(origin, payload)
+        if not delivered:
+            self.node.monitor.count("controller.reply_failures")
+        if self._post_reply is not None:
+            action, self._post_reply = self._post_reply, None
+            action()
+
+    def _handlers(self) -> dict:
+        return {
+            MsgType.GET_RADIO: self._get_radio,
+            MsgType.SET_POWER: self._set_power,
+            MsgType.SET_CHANNEL: self._set_channel,
+            MsgType.NEIGHBOR_LIST: self._neighbor_list,
+            MsgType.BLACKLIST_ADD: self._blacklist_add,
+            MsgType.BLACKLIST_REMOVE: self._blacklist_remove,
+            MsgType.SET_BEACON: self._set_beacon,
+            MsgType.RUN_PING: self._run_ping,
+            MsgType.RUN_TRACEROUTE: self._run_traceroute,
+            MsgType.SCAN_CHANNELS: self._run_scan,
+            MsgType.GET_EVENTS: self._get_events,
+            MsgType.GET_THREADS: self._get_threads,
+            MsgType.KILL_THREAD: self._kill_thread,
+        }
+
+    def _get_threads(self, body: bytes) -> tuple[int, bytes]:
+        """List live kernel threads — the process-level visibility the
+        paper contrasts against variable-poking management tools."""
+        threads = self.node.syscalls.invoke("thread_table")
+        reply = bytearray([len(threads)])  # type: ignore[arg-type]
+        for info in threads:  # type: ignore[union-attr]
+            name = info.name.encode("utf-8")[:20]
+            reply += struct.pack(
+                ">HI", info.tid,
+                min(0xFFFFFFFF, int(info.started_at * 1000)),
+            )
+            reply.append(len(name))
+            reply += name
+        return Status.OK, bytes(reply)
+
+    def _kill_thread(self, body: bytes) -> tuple[int, bytes]:
+        """Kill a command thread by tid (process-level control)."""
+        if len(body) < 2:
+            return Status.ERROR, b"missing tid"
+        tid = struct.unpack(">H", body[:2])[0]
+        killed = self.node.syscalls.invoke("thread_kill", tid)
+        if not killed:
+            return Status.ERROR, b"no such thread"
+        return Status.OK, b""
+
+    def _get_events(self, body: bytes) -> tuple[int, bytes]:
+        """Dump the kernel event log (most recent first on the wire)."""
+        limit = body[0] if body else 16
+        events = self.node.syscalls.invoke("event_log", limit)
+        reply = bytearray([len(events)])  # type: ignore[arg-type]
+        for event in events:  # type: ignore[union-attr]
+            code = event.code.encode("utf-8")[:24]
+            detail = event.detail.encode("utf-8")[:32]
+            reply += struct.pack(">I", min(0xFFFFFFFF,
+                                           int(event.time * 1000)))
+            reply.append(len(code))
+            reply += code
+            reply.append(len(detail))
+            reply += detail
+        return Status.OK, bytes(reply)
+
+    # -- radio configuration ---------------------------------------------------
+
+    def _radio_state(self) -> bytes:
+        state = self.node.syscalls.invoke("radio_get")
+        return bytes([state["power_level"], state["channel"]])
+
+    def _get_radio(self, body: bytes) -> tuple[int, bytes]:
+        return Status.OK, self._radio_state()
+
+    def _set_power(self, body: bytes) -> tuple[int, bytes]:
+        if len(body) < 1:
+            return Status.ERROR, b"missing power level"
+        self.node.syscalls.invoke("radio_set_power", body[0])
+        return Status.OK, self._radio_state()
+
+    def _set_channel(self, body: bytes) -> tuple[int, bytes]:
+        """Switch channels — but only after the reply has gone out.
+
+        Retuning immediately would transmit the acknowledgement on the
+        *new* channel, stranding the workstation on the old one; the
+        deferred switch is how real reconfiguration tools avoid cutting
+        the branch they sit on.
+        """
+        if len(body) < 1:
+            return Status.ERROR, b"missing channel"
+        channel = body[0]
+        # Validate eagerly so errors still reach the user ...
+        from repro.radio.cc2420 import MAX_CHANNEL, MIN_CHANNEL
+        if not MIN_CHANNEL <= channel <= MAX_CHANNEL:
+            return Status.ERROR, (
+                f"channel {channel} outside "
+                f"{MIN_CHANNEL}..{MAX_CHANNEL}".encode()
+            )
+        # ... but apply only once the reply is on its way.
+        self._post_reply = lambda: self.node.syscalls.invoke(
+            "radio_set_channel", channel)
+        return Status.OK, bytes([self.node.radio.power_level, channel])
+
+    # -- neighborhood management ------------------------------------------------
+
+    def _neighbor_views(self) -> list[NeighborView]:
+        entries = self.node.syscalls.invoke("neighbor_table")
+        return [
+            NeighborView(
+                node_id=e.node_id, lqi=int(round(e.lqi)),
+                rssi=int(round(e.rssi)),
+                prr_percent=int(round(100 * e.prr_estimate)),
+                enabled=e.enabled,
+            )
+            for e in entries
+        ]
+
+    def _neighbor_list(self, body: bytes) -> tuple[int, bytes]:
+        return Status.OK, encode_neighbor_views(self._neighbor_views())
+
+    def _blacklist_add(self, body: bytes) -> tuple[int, bytes]:
+        if len(body) < 2:
+            return Status.ERROR, b"missing neighbor id"
+        self.node.neighbors.blacklist(struct.unpack(">H", body[:2])[0])
+        return Status.OK, b""
+
+    def _blacklist_remove(self, body: bytes) -> tuple[int, bytes]:
+        if len(body) < 2:
+            return Status.ERROR, b"missing neighbor id"
+        self.node.neighbors.unblacklist(struct.unpack(">H", body[:2])[0])
+        return Status.OK, b""
+
+    def _set_beacon(self, body: bytes) -> tuple[int, bytes]:
+        if len(body) < 4:
+            return Status.ERROR, b"missing interval"
+        interval_ms = struct.unpack(">I", body[:4])[0]
+        self.node.neighbors.set_beacon_interval(interval_ms / 1000.0)
+        return Status.OK, b""
+
+    # -- command execution ----------------------------------------------------------
+
+    def _run_ping(self, body: bytes):
+        """Start the ping command as a process and ship its result back.
+
+        The parameters travel through the kernel parameter buffer — the
+        mechanism the paper added because "the LiteOS operating system
+        does not provide a mechanism for passing parameters to processes
+        by default".
+        """
+        if len(body) < 5:
+            return Status.ERROR, b"bad ping parameters"
+        target, rounds, length, port = struct.unpack(">HBBB", body[:5])
+        service = self.node.services.get("ping")
+        if not isinstance(service, PingService):
+            return Status.ERROR, b"ping not installed"
+        self.node.params.stage(
+            f"{target} round={rounds} length={length} port={port}"
+        )
+        argv = self.node.syscalls.invoke("get_parameters").split(" ")
+        kv = dict(item.split("=", 1) for item in argv[1:])
+        thread = self.node.threads.spawn("ping", service.ping(
+            int(argv[0]), rounds=int(kv["round"]),
+            length=int(kv["length"]), routing_port=int(kv["port"]),
+        ))
+        result = yield thread.process
+        return Status.OK, encode_ping_result(result)
+
+    def _run_scan(self, body: bytes):
+        """Run a channel scan and report per-channel peak RSSI."""
+        from repro.core.commands.scan import channel_scan
+        from repro.core.wire import pack_signed
+
+        if len(body) < 5:
+            return Status.ERROR, b"bad scan parameters"
+        first, count, samples, dwell_ms = struct.unpack(">BBBH", body[:5])
+        thread = self.node.threads.spawn("channel-scan", channel_scan(
+            self.node, first=first, count=count, samples=samples,
+            dwell=dwell_ms / 1000.0,
+        ))
+        results = yield thread.process
+        reply = bytearray([len(results)])
+        for channel, reading in results:
+            reply.append(channel)
+            reply.append(pack_signed(reading))
+        return Status.OK, bytes(reply)
+
+    def _run_traceroute(self, body: bytes):
+        """Start the traceroute command and ship its result back."""
+        if len(body) < 5:
+            return Status.ERROR, b"bad traceroute parameters"
+        target, rounds, length, port = struct.unpack(">HBBB", body[:5])
+        service = self.node.services.get("traceroute")
+        if not isinstance(service, TracerouteService):
+            return Status.ERROR, b"traceroute not installed"
+        self.node.params.stage(
+            f"{target} round={rounds} length={length} port={port}"
+        )
+        argv = self.node.syscalls.invoke("get_parameters").split(" ")
+        kv = dict(item.split("=", 1) for item in argv[1:])
+        thread = self.node.threads.spawn("traceroute", service.traceroute(
+            int(argv[0]), rounds=int(kv["round"]),
+            length=int(kv["length"]), routing_port=int(kv["port"]),
+        ))
+        result = yield thread.process
+        return Status.OK, encode_trace_result(result)

@@ -1,0 +1,231 @@
+"""End-user diagnosis built on the LiteView commands.
+
+The paper's abstract promises that the toolkit "allows users to identify
+broken links or asymmetric links, which are likely to become traffic
+bottlenecks" and "to identify traffic hotspots by collecting round-trip
+delays of arbitrary pairs of nodes".  This module packages those
+workflows: it drives the same shell-level commands a human would, and
+reduces the results to actionable classifications.
+
+Everything here works through the workstation (walk to a node, run its
+commands over the reliable protocol) — no simulator internals are read,
+so these diagnostics exercise the full toolkit path.
+"""
+
+from __future__ import annotations
+
+import statistics
+import struct
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.core.deploy import LiteViewDeployment
+from repro.core.serialize import decode_ping_result, decode_trace_result
+from repro.core.wire import MsgType
+from repro.errors import CommandTimeout
+
+__all__ = [
+    "LinkReport",
+    "LinkClass",
+    "Hotspot",
+    "survey_link",
+    "survey_links",
+    "classify_link",
+    "classify_links",
+    "probe_path",
+    "find_hotspots",
+]
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """What probing one directed neighbor link revealed."""
+
+    src: int
+    dst: int
+    sent: int
+    received: int
+    mean_rtt_ms: float | None
+    lqi_forward: float | None    # remote-measured (our packets arriving)
+    lqi_backward: float | None   # locally measured (their replies)
+    rssi_forward: float | None
+    rssi_backward: float | None
+
+    @property
+    def loss_ratio(self) -> float:
+        """Probe round-trip loss fraction."""
+        return 1.0 - self.received / self.sent if self.sent else 1.0
+
+
+class LinkClass:
+    """Diagnosis labels for a probed link."""
+
+    HEALTHY = "healthy"
+    BROKEN = "broken"
+    ASYMMETRIC = "asymmetric"
+    LOSSY = "lossy"
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """A node whose inbound hops show congestion indicators."""
+
+    node_id: int
+    mean_hop_rtt_ms: float
+    max_queue: int
+    samples: int
+    score: float
+
+
+def _run_ping(deployment: LiteViewDeployment, src: int, dst: int, *,
+              rounds: int, length: int, port: int):
+    ws = deployment.workstation
+    ws.attach_near(src)
+    body = struct.pack(">HBBB", dst, rounds, length, port)
+    reply = ws.call(src, MsgType.RUN_PING, body,
+                    window=rounds * 0.6 + 2.5, wait_full_window=False)
+    if not reply.ok:
+        return None
+    return decode_ping_result(reply.body, deployment.testbed.namespace)
+
+
+def survey_link(deployment: LiteViewDeployment, src: int, dst: int, *,
+                rounds: int = 10, length: int = 32) -> LinkReport:
+    """Probe the one-hop link ``src → dst`` with repeated pings."""
+    try:
+        result = _run_ping(deployment, src, dst,
+                           rounds=rounds, length=length, port=0)
+    except CommandTimeout:
+        result = None
+    if result is None or not result.rounds:
+        sent = result.sent if result is not None else rounds
+        return LinkReport(src=src, dst=dst, sent=sent, received=0,
+                          mean_rtt_ms=None, lqi_forward=None,
+                          lqi_backward=None, rssi_forward=None,
+                          rssi_backward=None)
+    links = [r.link for r in result.rounds]
+    return LinkReport(
+        src=src, dst=dst, sent=result.sent, received=result.received,
+        mean_rtt_ms=result.mean_rtt_ms,
+        lqi_forward=statistics.fmean(l.lqi_forward for l in links),
+        lqi_backward=statistics.fmean(l.lqi_backward for l in links),
+        rssi_forward=statistics.fmean(l.rssi_forward for l in links),
+        rssi_backward=statistics.fmean(l.rssi_backward for l in links),
+    )
+
+
+def survey_links(deployment: LiteViewDeployment,
+                 pairs: _t.Iterable[tuple[int, int]], *,
+                 rounds: int = 10, length: int = 32) -> list[LinkReport]:
+    """Probe several directed links (the site-survey walk)."""
+    return [survey_link(deployment, a, b, rounds=rounds, length=length)
+            for a, b in pairs]
+
+
+def classify_link(report: LinkReport, *,
+                  broken_loss: float = 0.9,
+                  lossy_loss: float = 0.25,
+                  asym_lqi: float = 12.0,
+                  asym_rssi: float = 8.0) -> str:
+    """Label one link report.
+
+    * ``broken`` — essentially no probe completes.
+    * ``asymmetric`` — both directions observable but forward/backward
+      LQI or RSSI differ beyond the thresholds (the links "likely to
+      become traffic bottlenecks").
+    * ``lossy`` — round-trip loss above ``lossy_loss``.
+    * ``healthy`` — everything else.
+    """
+    if report.loss_ratio >= broken_loss:
+        return LinkClass.BROKEN
+    if report.lqi_forward is not None and report.lqi_backward is not None:
+        if abs(report.lqi_forward - report.lqi_backward) >= asym_lqi:
+            return LinkClass.ASYMMETRIC
+        if (report.rssi_forward is not None
+                and report.rssi_backward is not None
+                and abs(report.rssi_forward - report.rssi_backward)
+                >= asym_rssi):
+            return LinkClass.ASYMMETRIC
+    if report.loss_ratio >= lossy_loss:
+        return LinkClass.LOSSY
+    return LinkClass.HEALTHY
+
+
+def classify_links(reports: _t.Iterable[LinkReport],
+                   **thresholds: float) -> dict[str, list[LinkReport]]:
+    """Group link reports by diagnosis label."""
+    groups: dict[str, list[LinkReport]] = {
+        LinkClass.HEALTHY: [], LinkClass.BROKEN: [],
+        LinkClass.ASYMMETRIC: [], LinkClass.LOSSY: [],
+    }
+    for report in reports:
+        groups[classify_link(report, **thresholds)].append(report)
+    return groups
+
+
+def probe_path(deployment: LiteViewDeployment, src: int, dst: int, *,
+               rounds: int = 1, length: int = 32, port: int = 10):
+    """Traceroute ``src → dst`` through the toolkit (hotspot raw data)."""
+    ws = deployment.workstation
+    ws.attach_near(src)
+    body = struct.pack(">HBBB", dst, rounds, length, port)
+    reply = ws.call(src, MsgType.RUN_TRACEROUTE, body,
+                    window=rounds * 6.5 + 3.0, wait_full_window=False)
+    if not reply.ok:
+        return None
+    return decode_trace_result(reply.body, deployment.testbed.namespace)
+
+
+def find_hotspots(deployment: LiteViewDeployment,
+                  pairs: _t.Iterable[tuple[int, int]], *,
+                  rounds: int = 1, port: int = 10,
+                  min_samples: int = 1,
+                  score_threshold: float = 1.5,
+                  baseline_rtt_ms: float | None = None) -> list[Hotspot]:
+    """Locate congested nodes from per-hop RTTs of arbitrary node pairs.
+
+    Runs traceroute over every pair, aggregates each node's inbound
+    per-hop RTT and reported queue occupancy, and flags nodes whose mean
+    hop RTT exceeds ``score_threshold ×`` a reference value.
+
+    The reference is ``baseline_rtt_ms`` when given — the interactive
+    workflow the paper advocates: survey the idle network first, then
+    compare under load, so uniformly congested regions still stand out.
+    Without a baseline, the testbed-wide median of the current probe is
+    used (adequate when only part of the network is hot).
+    """
+    rtts: dict[int, list[float]] = {}
+    queues: dict[int, int] = {}
+    for src, dst in pairs:
+        try:
+            result = probe_path(deployment, src, dst,
+                                rounds=rounds, port=port)
+        except CommandTimeout:
+            continue
+        if result is None:
+            continue
+        for hop in result.hops:
+            rtts.setdefault(hop.probed_node_id, []).append(hop.rtt_ms)
+            queues[hop.probed_node_id] = max(
+                queues.get(hop.probed_node_id, 0), hop.link.queue_remote
+            )
+    if not rtts:
+        return []
+    all_means = {
+        node: statistics.fmean(values)
+        for node, values in rtts.items() if len(values) >= min_samples
+    }
+    if not all_means:
+        return []
+    baseline = (baseline_rtt_ms if baseline_rtt_ms is not None
+                else statistics.median(all_means.values()))
+    hotspots = []
+    for node, mean_rtt in all_means.items():
+        score = mean_rtt / baseline if baseline > 0 else float("inf")
+        if score >= score_threshold or queues.get(node, 0) >= 2:
+            hotspots.append(Hotspot(
+                node_id=node, mean_hop_rtt_ms=mean_rtt,
+                max_queue=queues.get(node, 0),
+                samples=len(rtts[node]), score=score,
+            ))
+    return sorted(hotspots, key=lambda h: h.score, reverse=True)

@@ -1,0 +1,388 @@
+"""The LiteView command interpreter: a LiteOS-shell-style front end.
+
+"The user interface provided by LiteView is an extension of the
+interactive shell of the LiteOS operating system."  The interpreter
+parses shell lines, keeps local context (current node, neighborhood-
+management mode) so queries like ``pwd`` never touch the radio, and
+translates management commands into request messages for the runtime
+controller of the current node.
+
+Shell session, matching the paper's samples::
+
+    $ pwd
+    /sn01/192.168.0.1
+    $ ping 192.168.0.2 round=1 length=32
+    Pinging 192.168.0.2 with 1 packets with 32 bytes: ...
+"""
+
+from __future__ import annotations
+
+import struct
+import typing as _t
+
+from repro.core.results import PingResult, TracerouteResult
+from repro.core.serialize import (
+    decode_neighbor_views,
+    decode_ping_result,
+    decode_trace_result,
+)
+from repro.core.wire import MsgType
+from repro.core.workstation import DEFAULT_RESPONSE_WINDOW, Workstation
+from repro.errors import (
+    CommandError,
+    CommandTimeout,
+    NoSuchNode,
+    ParameterError,
+    ReproError,
+    UnknownCommand,
+)
+from repro.net.ports import WellKnownPorts
+
+__all__ = ["CommandInterpreter"]
+
+
+def _parse_kv(tokens: list[str], defaults: dict[str, int]) -> dict[str, int]:
+    """Parse the paper's ``key=value`` command parameters."""
+    values = dict(defaults)
+    for token in tokens:
+        if "=" not in token:
+            raise ParameterError(f"expected key=value, got {token!r}")
+        key, _, raw = token.partition("=")
+        if key not in values:
+            raise ParameterError(f"unknown parameter {key!r}")
+        try:
+            values[key] = int(raw)
+        except ValueError:
+            raise ParameterError(f"{key}={raw!r} is not an integer") from None
+    return values
+
+
+class CommandInterpreter:
+    """Parses shell lines and drives the workstation."""
+
+    def __init__(self, workstation: Workstation):
+        self.ws = workstation
+        self.testbed = workstation.testbed
+        #: Current node context (None until the user ``cd``s somewhere).
+        self.cwd: int | None = None
+        #: Whether the user has entered neighborhood-management mode.
+        self.neighbor_mode = False
+        #: Structured result of the last ping/traceroute, for tooling.
+        self.last_result: PingResult | TracerouteResult | None = None
+
+    # -- public API ------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one shell line to completion; returns the printed output."""
+        tokens = line.split()
+        if not tokens:
+            return ""
+        name, args = tokens[0], tokens[1:]
+        handler = self._commands().get(name)
+        if handler is None:
+            raise UnknownCommand(f"unknown command {name!r}")
+        try:
+            return handler(args)
+        except CommandTimeout as exc:
+            return f"error: {exc}"
+
+    def session(self, lines: _t.Iterable[str]) -> str:
+        """Run several lines, echoing prompts — renders like the paper."""
+        out = []
+        for line in lines:
+            out.append(f"$ {line}")
+            result = self.execute(line)
+            if result:
+                out.append(result)
+        return "\n".join(out)
+
+    # -- command table -------------------------------------------------------------
+
+    def _commands(self) -> dict[str, _t.Callable[[list[str]], str]]:
+        table = {
+            "pwd": self._cmd_pwd,
+            "cd": self._cmd_cd,
+            "ls": self._cmd_ls,
+            "attach": self._cmd_attach,
+            "ping": self._cmd_ping,
+            "traceroute": self._cmd_traceroute,
+            "power": self._cmd_power,
+            "channel": self._cmd_channel,
+            "scan": self._cmd_scan,
+            "group": self._cmd_group,
+            "events": self._cmd_events,
+            "ps": self._cmd_ps,
+            "kill": self._cmd_kill,
+            "neighborsetup": self._cmd_neighborsetup,
+            "help": self._cmd_help,
+        }
+        if self.neighbor_mode:
+            table.update({
+                "list": self._cmd_list,
+                "blacklist": self._cmd_blacklist,
+                "update": self._cmd_update,
+                "exit": self._cmd_exit_mode,
+            })
+        return table
+
+    # -- local-context commands (never touch the radio) ------------------------------
+
+    def _cmd_pwd(self, args: list[str]) -> str:
+        if self.cwd is None:
+            return self.testbed.namespace.mount
+        return self.testbed.namespace.path_of(self.cwd)
+
+    def _cmd_cd(self, args: list[str]) -> str:
+        if not args:
+            self.cwd = None
+            return ""
+        try:
+            self.cwd = self.testbed.namespace.resolve(args[0])
+        except NoSuchNode as exc:
+            return f"error: {exc}"
+        return ""
+
+    def _cmd_ls(self, args: list[str]) -> str:
+        return "\n".join(self.testbed.namespace.names())
+
+    def _cmd_attach(self, args: list[str]) -> str:
+        ref = args[0] if args else self.cwd
+        if ref is None:
+            return "error: attach needs a node (or cd somewhere first)"
+        self.ws.attach_near(ref)
+        return ""
+
+    def _cmd_help(self, args: list[str]) -> str:
+        return ("commands: pwd cd ls attach ping traceroute power channel "
+                "scan group neighborsetup"
+                + (" list blacklist update exit"
+                   if self.neighbor_mode else ""))
+
+    # -- management commands ----------------------------------------------------------
+
+    def _current(self) -> int:
+        if self.cwd is None:
+            raise CommandError("no current node: cd to a node first")
+        return self.cwd
+
+    def _cmd_ping(self, args: list[str]) -> str:
+        if not args:
+            raise ParameterError("usage: ping <node> [round=] [length=] [port=]")
+        target = self.testbed.namespace.resolve(args[0])
+        params = _parse_kv(args[1:], {"round": 1, "length": 32, "port": 0})
+        body = struct.pack(">HBBB", target, params["round"],
+                           params["length"], params["port"])
+        window = params["round"] * 0.6 + 2.5
+        reply = self.ws.call(
+            self._current(), MsgType.RUN_PING, body,
+            window=window, wait_full_window=False,
+        )
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        result = decode_ping_result(reply.body, self.testbed.namespace)
+        self.last_result = result
+        return result.render()
+
+    def _cmd_traceroute(self, args: list[str]) -> str:
+        if not args:
+            raise ParameterError(
+                "usage: traceroute <node> [round=] [length=] [port=]"
+            )
+        target = self.testbed.namespace.resolve(args[0])
+        params = _parse_kv(args[1:], {
+            "round": 1, "length": 32, "port": WellKnownPorts.GEOGRAPHIC,
+        })
+        body = struct.pack(">HBBB", target, params["round"],
+                           params["length"], params["port"])
+        window = params["round"] * 6.5 + 3.0
+        reply = self.ws.call(
+            self._current(), MsgType.RUN_TRACEROUTE, body,
+            window=window, wait_full_window=False,
+        )
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        result = decode_trace_result(reply.body, self.testbed.namespace)
+        self.last_result = result
+        return result.render()
+
+    def _cmd_power(self, args: list[str]) -> str:
+        if args:
+            reply = self.ws.call(self._current(), MsgType.SET_POWER,
+                                 bytes([int(args[0])]))
+        else:
+            reply = self.ws.call(self._current(), MsgType.GET_RADIO)
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        return f"Power = {reply.body[0]}, Channel = {reply.body[1]}"
+
+    def _cmd_channel(self, args: list[str]) -> str:
+        if args:
+            reply = self.ws.call(self._current(), MsgType.SET_CHANNEL,
+                                 bytes([int(args[0])]))
+        else:
+            reply = self.ws.call(self._current(), MsgType.GET_RADIO)
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        return f"Power = {reply.body[0]}, Channel = {reply.body[1]}"
+
+    def _cmd_scan(self, args: list[str]) -> str:
+        """Survey ambient energy across channels on the current node."""
+        params = _parse_kv(args, {"first": 11, "count": 16, "samples": 4,
+                                  "dwell": 10})
+        body = struct.pack(">BBBH", params["first"], params["count"],
+                           params["samples"], params["dwell"])
+        duration = (params["count"] * params["samples"]
+                    * params["dwell"] / 1000.0)
+        reply = self.ws.call(
+            self._current(), MsgType.SCAN_CHANNELS, body,
+            window=duration + 2.5, wait_full_window=False,
+        )
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        from repro.core.wire import unpack_signed
+        count = reply.body[0]
+        lines = ["channel  peak RSSI"]
+        for i in range(count):
+            channel = reply.body[1 + 2 * i]
+            reading = unpack_signed(reply.body[2 + 2 * i])
+            bar = "#" * max(0, (reading + 60) // 3)
+            lines.append(f"{channel:>7}  {reading:>9}  {bar}")
+        return "\n".join(lines)
+
+    def _cmd_ps(self, args: list[str]) -> str:
+        """List the current node's live kernel threads."""
+        reply = self.ws.call(self._current(), MsgType.GET_THREADS)
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        count = reply.body[0]
+        offset = 1
+        lines = ["tid  started_s  name"]
+        for _ in range(count):
+            tid, started_ms = struct.unpack_from(">HI", reply.body, offset)
+            offset += 6
+            name_len = reply.body[offset]
+            offset += 1
+            name = reply.body[offset:offset + name_len].decode()
+            offset += name_len
+            lines.append(f"{tid:>3}  {started_ms / 1000:9.3f}  {name}")
+        if count == 0:
+            return "no live threads"
+        return "\n".join(lines)
+
+    def _cmd_kill(self, args: list[str]) -> str:
+        """Kill one of the current node's threads by tid."""
+        if len(args) != 1 or not args[0].isdigit():
+            raise ParameterError("usage: kill <tid>")
+        reply = self.ws.call(self._current(), MsgType.KILL_THREAD,
+                             struct.pack(">H", int(args[0])))
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        return f"thread {args[0]} killed"
+
+    def _cmd_events(self, args: list[str]) -> str:
+        """Dump the current node's kernel event log."""
+        params = _parse_kv(args, {"limit": 16})
+        reply = self.ws.call(self._current(), MsgType.GET_EVENTS,
+                             bytes([min(255, params["limit"])]))
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        count = reply.body[0]
+        offset = 1
+        lines = []
+        for _ in range(count):
+            time_ms, = struct.unpack_from(">I", reply.body, offset)
+            offset += 4
+            code_len = reply.body[offset]
+            offset += 1
+            code = reply.body[offset:offset + code_len].decode()
+            offset += code_len
+            detail_len = reply.body[offset]
+            offset += 1
+            detail = reply.body[offset:offset + detail_len].decode()
+            offset += detail_len
+            lines.append(f"[{time_ms / 1000:10.3f}] {code}: {detail}")
+        return "\n".join(lines) if lines else "event log is empty"
+
+    def _cmd_group(self, args: list[str]) -> str:
+        """Broadcast a command to every node in radio range.
+
+        ``group radio`` reads power/channel from all reachable nodes;
+        ``group power <level>`` / ``group channel <ch>`` set them
+        everywhere at once.  Replies are collected for the full response
+        window ("these nodes wait for random backoff delays before
+        sending responses").
+        """
+        if not args:
+            raise ParameterError("usage: group radio|power|channel [value]")
+        sub = args[0]
+        if sub == "radio":
+            msg, body = MsgType.GET_RADIO, b""
+        elif sub == "power" and len(args) == 2:
+            msg, body = MsgType.SET_POWER, bytes([int(args[1])])
+        elif sub == "channel" and len(args) == 2:
+            msg, body = MsgType.SET_CHANNEL, bytes([int(args[1])])
+        else:
+            raise ParameterError("usage: group radio|power|channel [value]")
+        replies = self.ws.group_call(msg, body)
+        if not replies:
+            return "no replies (no nodes in range?)"
+        namespace = self.testbed.namespace
+        lines = []
+        for node_id in sorted(replies):
+            reply = replies[node_id]
+            name = (namespace.name_of(node_id)
+                    if node_id in namespace else str(node_id))
+            if reply.ok and len(reply.body) >= 2:
+                lines.append(f"{name}: Power = {reply.body[0]}, "
+                             f"Channel = {reply.body[1]}")
+            else:
+                lines.append(f"{name}: error")
+        lines.append(f"({len(replies)} nodes replied)")
+        return "\n".join(lines)
+
+    # -- neighborhood-management mode ----------------------------------------------------
+
+    def _cmd_neighborsetup(self, args: list[str]) -> str:
+        self._current()  # require a node context
+        self.neighbor_mode = True
+        return "entering neighborhood management mode"
+
+    def _cmd_exit_mode(self, args: list[str]) -> str:
+        self.neighbor_mode = False
+        return ""
+
+    def _cmd_list(self, args: list[str]) -> str:
+        reply = self.ws.call(self._current(), MsgType.NEIGHBOR_LIST, b"\x01")
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        views = decode_neighbor_views(reply.body)
+        if not views:
+            return "neighbor table is empty"
+        namespace = self.testbed.namespace
+        return "\n".join(
+            v.render(namespace.name_of(v.node_id)
+                     if v.node_id in namespace else None)
+            for v in views
+        )
+
+    def _cmd_blacklist(self, args: list[str]) -> str:
+        if len(args) != 2 or args[0] not in ("add", "remove"):
+            raise ParameterError("usage: blacklist add|remove <node>")
+        neighbor = self.testbed.namespace.resolve(args[1])
+        msg = (MsgType.BLACKLIST_ADD if args[0] == "add"
+               else MsgType.BLACKLIST_REMOVE)
+        reply = self.ws.call(self._current(), msg,
+                             struct.pack(">H", neighbor))
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        return f"blacklist {args[0]}: {args[1]}"
+
+    def _cmd_update(self, args: list[str]) -> str:
+        params = _parse_kv(args, {"freq": 2000})
+        reply = self.ws.call(
+            self._current(), MsgType.SET_BEACON,
+            struct.pack(">I", params["freq"]),
+        )
+        if not reply.ok:
+            return f"error: {reply.body.decode(errors='replace')}"
+        return f"beacon interval set to {params['freq']} ms"

@@ -1,0 +1,225 @@
+"""Result objects for LiteView commands, with paper-style rendering.
+
+Every interactive command returns a structured result; the shell renders
+it in the format of the paper's sample sessions (§III-B.3/4) so a user of
+the reproduction sees the same reports a LiteOS shell user saw::
+
+    Pinging 192.168.0.2 with 1 packets with 32 bytes:
+    RTT = 4.7 ms, LQI = 108/106, RSSI = -1/8, Queue = 0/0
+    Power = 31, Channel = 17
+    ...
+
+Quality pairs follow the paper's ``forward/backward`` convention: the
+first value is measured by the remote side on our outgoing packet, the
+second by us on the returning packet.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LinkObservation",
+    "PingRound",
+    "PingResult",
+    "TracerouteHop",
+    "TracerouteResult",
+    "NeighborView",
+    "format_ms",
+]
+
+
+def format_ms(ms: float) -> str:
+    """Milliseconds with one decimal, like the paper's RTT lines."""
+    return f"{ms:.1f} ms"
+
+
+@dataclass(frozen=True)
+class LinkObservation:
+    """A forward/backward pair of link observables for one exchange."""
+
+    lqi_forward: int
+    lqi_backward: int
+    rssi_forward: int
+    rssi_backward: int
+    queue_remote: int
+    queue_local: int
+
+    def render(self) -> str:
+        """``LQI = f/b, RSSI = f/b, Queue = r/l`` per the sample output."""
+        return (
+            f"LQI = {self.lqi_forward}/{self.lqi_backward}, "
+            f"RSSI = {self.rssi_forward}/{self.rssi_backward}, "
+            f"Queue = {self.queue_remote}/{self.queue_local}"
+        )
+
+
+@dataclass(frozen=True)
+class PingRound:
+    """One successful probe/reply exchange."""
+
+    seq: int
+    rtt_ms: float
+    link: LinkObservation
+    #: Per-hop (LQI, RSSI) pairs for routed probes: forward path then
+    #: backward path, from the padding mechanism.
+    forward_path: tuple[tuple[int, int], ...] = ()
+    backward_path: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass
+class PingResult:
+    """Everything the ping command learned."""
+
+    target_name: str
+    target_id: int
+    requested_rounds: int
+    probe_length: int
+    power_level: int
+    channel: int
+    rounds: list[PingRound] = field(default_factory=list)
+    sent: int = 0
+
+    @property
+    def received(self) -> int:
+        """Probes answered."""
+        return len(self.rounds)
+
+    @property
+    def lost(self) -> int:
+        """Probes that timed out."""
+        return self.sent - self.received
+
+    @property
+    def loss_ratio(self) -> float:
+        """Fraction of probes lost (0.0 when nothing was sent)."""
+        return self.lost / self.sent if self.sent else 0.0
+
+    @property
+    def rtts_ms(self) -> list[float]:
+        """All measured round-trip times."""
+        return [r.rtt_ms for r in self.rounds]
+
+    @property
+    def mean_rtt_ms(self) -> float | None:
+        """Mean RTT, or None if no reply arrived."""
+        if not self.rounds:
+            return None
+        return sum(self.rtts_ms) / len(self.rounds)
+
+    def render(self) -> str:
+        """The paper's ping output format."""
+        lines = [
+            f"Pinging {self.target_name} with {self.requested_rounds} "
+            f"packets with {self.probe_length} bytes:",
+        ]
+        for r in self.rounds:
+            lines.append(f"RTT = {format_ms(r.rtt_ms)}, {r.link.render()}")
+            for label, path in (("forward", r.forward_path),
+                                ("backward", r.backward_path)):
+                if path:
+                    rendered = ", ".join(
+                        f"{lqi}/{rssi}" for lqi, rssi in path
+                    )
+                    lines.append(f"  {label} path (LQI/RSSI): {rendered}")
+        lines.append(f"Power = {self.power_level}, Channel = {self.channel}")
+        lines.append("")
+        lines.append("Ping statistics:")
+        lines.append(f"Packets = {self.sent}")
+        lines.append(f"Received = {self.received}")
+        lines.append(f"Lost = {self.lost}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One per-hop report, as printed ("Reply from 192.168.0.2 ...")."""
+
+    hop_index: int
+    probed_node_id: int
+    probed_node_name: str
+    rtt_ms: float
+    link: LinkObservation
+    #: When the source received this hop's report (simulated seconds since
+    #: the command started) — the series Figure 5 plots.
+    arrival_ms: float
+
+    def render(self) -> str:
+        return (
+            f"Reply from {self.probed_node_name}\n"
+            f"RTT = {format_ms(self.rtt_ms)}, {self.link.render()}"
+        )
+
+
+@dataclass
+class TracerouteResult:
+    """Everything one traceroute invocation learned."""
+
+    target_name: str
+    target_id: int
+    requested_rounds: int
+    probe_length: int
+    protocol_name: str
+    routing_port: int
+    hops: list[TracerouteHop] = field(default_factory=list)
+    sent: int = 0
+
+    @property
+    def reached_target(self) -> bool:
+        """Did any report come back about the final destination?"""
+        return any(h.probed_node_id == self.target_id for h in self.hops)
+
+    @property
+    def received(self) -> int:
+        """Rounds that produced a report about the final destination."""
+        return sum(1 for h in self.hops if h.probed_node_id == self.target_id)
+
+    @property
+    def lost(self) -> int:
+        """Rounds whose final-destination report never arrived."""
+        return self.sent - self.received
+
+    @property
+    def hop_count(self) -> int:
+        """Deepest hop index any report covered."""
+        return max((h.hop_index for h in self.hops), default=0)
+
+    def arrival_series_ms(self) -> list[tuple[int, float]]:
+        """(hop index, report arrival ms) pairs — Figure 5's data."""
+        return sorted((h.hop_index, h.arrival_ms) for h in self.hops)
+
+    def render(self) -> str:
+        """The paper's traceroute output format."""
+        lines = [
+            f"Reaching {self.target_name} with {self.requested_rounds} "
+            f"packets with {self.probe_length} bytes:",
+            f"Name of protocol: {self.protocol_name}",
+        ]
+        for hop in sorted(self.hops, key=lambda h: h.hop_index):
+            lines.append(hop.render())
+        lines.append("")
+        lines.append("Traceroute statistics:")
+        lines.append(f"Packets = {self.sent}")
+        lines.append(f"Received = {self.received}")
+        lines.append(f"Lost = {self.lost}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class NeighborView:
+    """One neighbor-table row as reported over the air."""
+
+    node_id: int
+    lqi: int
+    rssi: int
+    prr_percent: int
+    enabled: bool
+
+    def render(self, namespace_name: str | None = None) -> str:
+        name = namespace_name or f"node-{self.node_id}"
+        state = "enabled" if self.enabled else "BLACKLISTED"
+        return (
+            f"{name} (id {self.node_id}): LQI = {self.lqi}, "
+            f"RSSI = {self.rssi}, PRR = {self.prr_percent}%, {state}"
+        )

@@ -1,0 +1,225 @@
+"""Binary serialisation of command results for over-the-air replies.
+
+When the interpreter runs ping or traceroute *on* a remote node, the
+node's runtime controller executes the command locally and ships the
+result back over the reliable protocol.  Results are packed into the same
+kind of compact structs every other LiteView message uses — no strings on
+the wire except the protocol name the traceroute output echoes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.results import (
+    LinkObservation,
+    PingResult,
+    PingRound,
+    TracerouteHop,
+    TracerouteResult,
+    NeighborView,
+)
+from repro.core.wire import pack_signed, unpack_signed
+from repro.errors import HeaderError
+from repro.kernel.filesystem import Namespace
+
+__all__ = [
+    "encode_ping_result",
+    "decode_ping_result",
+    "encode_trace_result",
+    "decode_trace_result",
+    "encode_neighbor_views",
+    "decode_neighbor_views",
+]
+
+_PING_HEAD = ">HBBBBBB"
+_PING_ROUND = ">BIBBBBBB"
+_TRACE_HEAD = ">HBBBBB"
+_TRACE_HOP = ">BHIBBBBBBI"
+_NEIGHBOR = ">HBBBB"
+
+
+def _name_for(namespace: Namespace | None, node_id: int) -> str:
+    if namespace is not None and node_id in namespace:
+        return namespace.name_of(node_id)
+    return str(node_id)
+
+
+# -- ping ---------------------------------------------------------------------
+
+def encode_ping_result(result: PingResult) -> bytes:
+    """Pack a :class:`PingResult` (paths included) into bytes."""
+    out = bytearray(struct.pack(
+        _PING_HEAD, result.target_id, result.requested_rounds,
+        result.probe_length, result.power_level, result.channel,
+        result.sent, len(result.rounds),
+    ))
+    for r in result.rounds:
+        out += struct.pack(
+            _PING_ROUND, r.seq, min(0xFFFFFFFF, int(r.rtt_ms * 1000)),
+            r.link.lqi_forward, r.link.lqi_backward,
+            pack_signed(r.link.rssi_forward),
+            pack_signed(r.link.rssi_backward),
+            min(255, r.link.queue_remote), min(255, r.link.queue_local),
+        )
+        for path in (r.forward_path, r.backward_path):
+            out.append(len(path))
+            for lqi, rssi in path:
+                out.append(lqi)
+                out.append(pack_signed(rssi))
+    return bytes(out)
+
+
+def decode_ping_result(data: bytes,
+                       namespace: Namespace | None = None) -> PingResult:
+    """Unpack :func:`encode_ping_result` output."""
+    head = struct.calcsize(_PING_HEAD)
+    if len(data) < head:
+        raise HeaderError("short ping result")
+    (target_id, rounds_req, length, power, channel, sent, n_rounds
+     ) = struct.unpack_from(_PING_HEAD, data)
+    result = PingResult(
+        target_name=_name_for(namespace, target_id), target_id=target_id,
+        requested_rounds=rounds_req, probe_length=length,
+        power_level=power, channel=channel, sent=sent,
+    )
+    offset = head
+    round_size = struct.calcsize(_PING_ROUND)
+    for _ in range(n_rounds):
+        if len(data) < offset + round_size:
+            raise HeaderError("truncated ping round")
+        (seq, rtt_us, lqi_f, lqi_b, rssi_f, rssi_b, q_r, q_l
+         ) = struct.unpack_from(_PING_ROUND, data, offset)
+        offset += round_size
+        paths: list[tuple[tuple[int, int], ...]] = []
+        for _path in range(2):
+            if len(data) < offset + 1:
+                raise HeaderError("truncated path count")
+            count = data[offset]
+            offset += 1
+            if len(data) < offset + 2 * count:
+                raise HeaderError("truncated path entries")
+            paths.append(tuple(
+                (data[offset + 2 * i],
+                 unpack_signed(data[offset + 2 * i + 1]))
+                for i in range(count)
+            ))
+            offset += 2 * count
+        result.rounds.append(PingRound(
+            seq=seq, rtt_ms=rtt_us / 1000.0,
+            link=LinkObservation(
+                lqi_forward=lqi_f, lqi_backward=lqi_b,
+                rssi_forward=unpack_signed(rssi_f),
+                rssi_backward=unpack_signed(rssi_b),
+                queue_remote=q_r, queue_local=q_l,
+            ),
+            forward_path=paths[0], backward_path=paths[1],
+        ))
+    return result
+
+
+# -- traceroute ----------------------------------------------------------------
+
+def encode_trace_result(result: TracerouteResult) -> bytes:
+    """Pack a :class:`TracerouteResult` into bytes."""
+    name = result.protocol_name.encode("utf-8")[:32]
+    while name:
+        try:
+            name.decode("utf-8")
+            break
+        except UnicodeDecodeError:
+            name = name[:-1]  # do not split a multibyte character
+    out = bytearray(struct.pack(
+        _TRACE_HEAD, result.target_id, result.requested_rounds,
+        result.probe_length, result.routing_port, result.sent,
+        len(result.hops),
+    ))
+    out.append(len(name))
+    out += name
+    for h in result.hops:
+        out += struct.pack(
+            _TRACE_HOP, h.hop_index, h.probed_node_id,
+            min(0xFFFFFFFF, int(h.rtt_ms * 1000)),
+            h.link.lqi_forward, h.link.lqi_backward,
+            pack_signed(h.link.rssi_forward),
+            pack_signed(h.link.rssi_backward),
+            min(255, h.link.queue_remote), min(255, h.link.queue_local),
+            min(0xFFFFFFFF, int(h.arrival_ms * 1000)),
+        )
+    return bytes(out)
+
+
+def decode_trace_result(data: bytes,
+                        namespace: Namespace | None = None
+                        ) -> TracerouteResult:
+    """Unpack :func:`encode_trace_result` output."""
+    head = struct.calcsize(_TRACE_HEAD)
+    if len(data) < head + 1:
+        raise HeaderError("short traceroute result")
+    (target_id, rounds_req, length, port, sent, n_hops
+     ) = struct.unpack_from(_TRACE_HEAD, data)
+    offset = head
+    name_len = data[offset]
+    offset += 1
+    if len(data) < offset + name_len:
+        raise HeaderError("truncated protocol name")
+    protocol_name = data[offset:offset + name_len].decode("utf-8")
+    offset += name_len
+    result = TracerouteResult(
+        target_name=_name_for(namespace, target_id), target_id=target_id,
+        requested_rounds=rounds_req, probe_length=length,
+        protocol_name=protocol_name, routing_port=port, sent=sent,
+    )
+    hop_size = struct.calcsize(_TRACE_HOP)
+    for _ in range(n_hops):
+        if len(data) < offset + hop_size:
+            raise HeaderError("truncated traceroute hop")
+        (hop_index, probed, rtt_us, lqi_f, lqi_b, rssi_f, rssi_b,
+         q_r, q_l, arrival_us) = struct.unpack_from(_TRACE_HOP, data, offset)
+        offset += hop_size
+        result.hops.append(TracerouteHop(
+            hop_index=hop_index, probed_node_id=probed,
+            probed_node_name=_name_for(namespace, probed),
+            rtt_ms=rtt_us / 1000.0,
+            link=LinkObservation(
+                lqi_forward=lqi_f, lqi_backward=lqi_b,
+                rssi_forward=unpack_signed(rssi_f),
+                rssi_backward=unpack_signed(rssi_b),
+                queue_remote=q_r, queue_local=q_l,
+            ),
+            arrival_ms=arrival_us / 1000.0,
+        ))
+    return result
+
+
+# -- neighbor listings ------------------------------------------------------------
+
+def encode_neighbor_views(views: list[NeighborView]) -> bytes:
+    """Pack neighbor-table rows for the `list` command's reply."""
+    out = bytearray([len(views)])
+    for v in views:
+        out += struct.pack(
+            _NEIGHBOR, v.node_id, min(255, v.lqi), pack_signed(v.rssi),
+            min(100, v.prr_percent), 1 if v.enabled else 0,
+        )
+    return bytes(out)
+
+
+def decode_neighbor_views(data: bytes) -> list[NeighborView]:
+    """Unpack :func:`encode_neighbor_views` output."""
+    if not data:
+        raise HeaderError("empty neighbor listing")
+    count = data[0]
+    size = struct.calcsize(_NEIGHBOR)
+    if len(data) < 1 + count * size:
+        raise HeaderError("truncated neighbor listing")
+    views = []
+    for i in range(count):
+        node_id, lqi, rssi, prr, flags = struct.unpack_from(
+            _NEIGHBOR, data, 1 + i * size
+        )
+        views.append(NeighborView(
+            node_id=node_id, lqi=lqi, rssi=unpack_signed(rssi),
+            prr_percent=prr, enabled=bool(flags & 1),
+        ))
+    return views

@@ -1,0 +1,262 @@
+"""Wire formats for LiteView's command, probe and report messages.
+
+Everything LiteView sends over the air is a compact struct-packed byte
+string whose first byte is a message type — the paper's command
+interpreter "translates each user command into a sequence of radio
+messages.  Each message header corresponds to one unique type, while the
+command parameters are embedded into message bodies."
+
+Message families:
+
+* ``0x01..0x02`` — ping probe / reply (Figure 3)
+* ``0x11..0x13`` — traceroute probe / reply / report (Figure 4)
+* ``0x20..0x2F`` — management requests (radio config, neighborhood, runs)
+* ``0x40..0x41`` — reliable-transfer data / ack (§IV-B)
+* ``0x60``      — management reply envelope
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import HeaderError
+
+__all__ = [
+    "MsgType",
+    "PingProbe",
+    "PingReply",
+    "TraceProbe",
+    "TraceReply",
+    "TraceReport",
+    "pack_signed",
+    "unpack_signed",
+]
+
+
+class MsgType:
+    """First-byte message-type registry."""
+
+    PING_PROBE = 0x01
+    PING_REPLY = 0x02
+
+    TRACE_PROBE = 0x11
+    TRACE_REPLY = 0x12
+    TRACE_REPORT = 0x13
+
+    GET_RADIO = 0x20
+    SET_POWER = 0x21
+    SET_CHANNEL = 0x22
+    NEIGHBOR_LIST = 0x23
+    BLACKLIST_ADD = 0x24
+    BLACKLIST_REMOVE = 0x25
+    SET_BEACON = 0x26
+    RUN_PING = 0x27
+    RUN_TRACEROUTE = 0x28
+    SCAN_CHANNELS = 0x29
+    GET_EVENTS = 0x2A
+    GET_THREADS = 0x2B
+    KILL_THREAD = 0x2C
+
+    RELIABLE_DATA = 0x40
+    RELIABLE_ACK = 0x41
+
+    REPLY = 0x60
+
+
+def pack_signed(value: int) -> int:
+    """Clamp a signed value into one byte's two's-complement encoding."""
+    value = max(-128, min(127, int(value)))
+    return value & 0xFF
+
+
+def unpack_signed(byte: int) -> int:
+    """Decode a two's-complement byte."""
+    return byte - 256 if byte >= 128 else byte
+
+
+def _require(condition: bool, what: str) -> None:
+    if not condition:
+        raise HeaderError(f"malformed message: {what}")
+
+
+# ---------------------------------------------------------------------------
+# Ping (Figure 3)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PingProbe:
+    """Probe: token matches replies to rounds; filler sets probe length.
+
+    ``routing_port`` is 0 for a one-hop probe; otherwise it names the
+    routing protocol the reply should travel back over (the probe itself
+    arrived over it) — the mechanism behind the ping command's runtime
+    ``port=`` parameter.
+    """
+
+    token: int
+    length: int  # requested probe payload length (the `length=` parameter)
+    routing_port: int = 0
+
+    _FMT = ">BHBB"
+
+    def to_bytes(self) -> bytes:
+        header = struct.pack(self._FMT, MsgType.PING_PROBE,
+                             self.token, self.length, self.routing_port)
+        filler = max(0, self.length - len(header))
+        return header + bytes(filler)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PingProbe":
+        _require(len(data) >= struct.calcsize(cls._FMT), "short ping probe")
+        _type, token, length, routing_port = struct.unpack_from(
+            cls._FMT, data)
+        _require(_type == MsgType.PING_PROBE, "wrong type for ping probe")
+        return cls(token=token, length=length, routing_port=routing_port)
+
+
+@dataclass(frozen=True)
+class PingReply:
+    """Reply: receiver-side observables of the probe, plus — for routed
+    probes — the forward path's padded per-hop qualities."""
+
+    token: int
+    lqi: int
+    rssi: int
+    queue: int
+    forward_hops: tuple[tuple[int, int], ...] = ()  # (lqi, rssi) per hop
+
+    _FMT = ">BHBBBB"
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(struct.pack(
+            self._FMT, MsgType.PING_REPLY, self.token, self.lqi,
+            pack_signed(self.rssi), min(255, self.queue),
+            len(self.forward_hops),
+        ))
+        for lqi, rssi in self.forward_hops:
+            out.append(lqi)
+            out.append(pack_signed(rssi))
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PingReply":
+        base = struct.calcsize(cls._FMT)
+        _require(len(data) >= base, "short ping reply")
+        (_type, token, lqi, rssi_b, queue, nhops
+         ) = struct.unpack_from(cls._FMT, data)
+        _require(_type == MsgType.PING_REPLY, "wrong type for ping reply")
+        _require(len(data) >= base + 2 * nhops, "truncated forward hops")
+        hops = tuple(
+            (data[base + 2 * i], unpack_signed(data[base + 2 * i + 1]))
+            for i in range(nhops)
+        )
+        return cls(token=token, lqi=lqi, rssi=unpack_signed(rssi_b),
+                   queue=queue, forward_hops=hops)
+
+
+# ---------------------------------------------------------------------------
+# Traceroute (Figure 4)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceProbe:
+    """One-hop traceroute probe.
+
+    Besides probing the link, the probe carries the session state the
+    receiver needs to continue the traceroute (the paper's "initiate a
+    new traceroute task" step): who started it, where it terminates,
+    which routing protocol port reports travel on, and the hop index.
+    """
+
+    session: int
+    origin: int
+    final_dest: int
+    hop_index: int
+    routing_port: int
+    length: int
+
+    _FMT = ">BHHHBBB"
+
+    def to_bytes(self) -> bytes:
+        header = struct.pack(
+            self._FMT, MsgType.TRACE_PROBE, self.session, self.origin,
+            self.final_dest, self.hop_index, self.routing_port, self.length,
+        )
+        return header + bytes(max(0, self.length - len(header)))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TraceProbe":
+        _require(len(data) >= struct.calcsize(cls._FMT), "short trace probe")
+        (_type, session, origin, final_dest, hop_index, routing_port, length
+         ) = struct.unpack_from(cls._FMT, data)
+        _require(_type == MsgType.TRACE_PROBE, "wrong type for trace probe")
+        return cls(session=session, origin=origin, final_dest=final_dest,
+                   hop_index=hop_index, routing_port=routing_port,
+                   length=length)
+
+
+@dataclass(frozen=True)
+class TraceReply:
+    """One-hop probe reply: the receiver's observables of the probe."""
+
+    session: int
+    lqi: int
+    rssi: int
+    queue: int
+
+    _FMT = ">BHBBB"
+
+    def to_bytes(self) -> bytes:
+        return struct.pack(self._FMT, MsgType.TRACE_REPLY, self.session,
+                           self.lqi, pack_signed(self.rssi),
+                           min(255, self.queue))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TraceReply":
+        _require(len(data) >= struct.calcsize(cls._FMT), "short trace reply")
+        _type, session, lqi, rssi_b, queue = struct.unpack_from(
+            cls._FMT, data)
+        _require(_type == MsgType.TRACE_REPLY, "wrong type for trace reply")
+        return cls(session=session, lqi=lqi, rssi=unpack_signed(rssi_b),
+                   queue=queue)
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Per-hop report routed back to the source: "this packet contains
+    the details on the link quality information for only one hop"."""
+
+    session: int
+    probed_node: int       # the node this hop reached ("Reply from ...")
+    hop_index: int
+    rtt_us: int
+    lqi_forward: int       # receiver-measured, on the probe
+    lqi_backward: int      # prober-measured, on the reply
+    rssi_forward: int
+    rssi_backward: int
+    queue_remote: int
+    queue_local: int
+
+    _FMT = ">BHHBIBBBBBB"
+
+    def to_bytes(self) -> bytes:
+        return struct.pack(
+            self._FMT, MsgType.TRACE_REPORT, self.session, self.probed_node,
+            self.hop_index, min(self.rtt_us, 0xFFFFFFFF),
+            self.lqi_forward, self.lqi_backward,
+            pack_signed(self.rssi_forward), pack_signed(self.rssi_backward),
+            min(255, self.queue_remote), min(255, self.queue_local),
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TraceReport":
+        _require(len(data) >= struct.calcsize(cls._FMT), "short trace report")
+        (_type, session, probed, hop_index, rtt_us, lqi_f, lqi_b,
+         rssi_f, rssi_b, q_r, q_l) = struct.unpack_from(cls._FMT, data)
+        _require(_type == MsgType.TRACE_REPORT, "wrong type for report")
+        return cls(session=session, probed_node=probed, hop_index=hop_index,
+                   rtt_us=rtt_us, lqi_forward=lqi_f, lqi_backward=lqi_b,
+                   rssi_forward=unpack_signed(rssi_f),
+                   rssi_backward=unpack_signed(rssi_b),
+                   queue_remote=q_r, queue_local=q_l)

@@ -1,0 +1,181 @@
+"""Exception hierarchy for the LiteView reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ProcessInterrupt",
+    "RadioError",
+    "InvalidPowerLevel",
+    "InvalidChannel",
+    "MacError",
+    "QueueOverflow",
+    "PacketError",
+    "CrcError",
+    "HeaderError",
+    "PaddingOverflow",
+    "PortError",
+    "PortInUse",
+    "NoSuchPort",
+    "RoutingError",
+    "NoRoute",
+    "TtlExpired",
+    "KernelError",
+    "MemoryBudgetExceeded",
+    "NoSuchNode",
+    "NoSuchSyscall",
+    "NeighborTableFull",
+    "CommandError",
+    "UnknownCommand",
+    "ParameterError",
+    "CommandTimeout",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# --------------------------------------------------------------------------
+# Simulation substrate
+# --------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event engine (double trigger, bad yield, ...)."""
+
+
+class ProcessInterrupt(ReproError):
+    """Thrown *into* a simulated process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# --------------------------------------------------------------------------
+# Radio / PHY
+# --------------------------------------------------------------------------
+
+class RadioError(ReproError):
+    """Base class for PHY-level configuration or modelling errors."""
+
+
+class InvalidPowerLevel(RadioError):
+    """PA level outside the CC2420 register range 0..31."""
+
+
+class InvalidChannel(RadioError):
+    """Channel outside the 802.15.4 2.4 GHz range 11..26."""
+
+
+# --------------------------------------------------------------------------
+# MAC
+# --------------------------------------------------------------------------
+
+class MacError(ReproError):
+    """Base class for MAC-layer errors."""
+
+
+class QueueOverflow(MacError):
+    """The MAC transmit queue rejected a frame because it is full."""
+
+
+# --------------------------------------------------------------------------
+# Packets and the port-based stack
+# --------------------------------------------------------------------------
+
+class PacketError(ReproError):
+    """Base class for packet construction / parsing errors."""
+
+
+class CrcError(PacketError):
+    """CRC check failed on a received packet."""
+
+
+class HeaderError(PacketError):
+    """Malformed or inconsistent packet header."""
+
+
+class PaddingOverflow(PacketError):
+    """Link-quality padding region exhausted (too many hops recorded)."""
+
+
+class PortError(ReproError):
+    """Base class for port-map errors."""
+
+
+class PortInUse(PortError):
+    """A subscription already exists for this port."""
+
+
+class NoSuchPort(PortError):
+    """Dispatch attempted to a port with no subscriber."""
+
+
+# --------------------------------------------------------------------------
+# Routing
+# --------------------------------------------------------------------------
+
+class RoutingError(ReproError):
+    """Base class for routing-protocol errors."""
+
+
+class NoRoute(RoutingError):
+    """The protocol could not make forwarding progress toward the target."""
+
+
+class TtlExpired(RoutingError):
+    """A packet exceeded its hop budget."""
+
+
+# --------------------------------------------------------------------------
+# Kernel (LiteOS model)
+# --------------------------------------------------------------------------
+
+class KernelError(ReproError):
+    """Base class for kernel-level errors."""
+
+
+class MemoryBudgetExceeded(KernelError):
+    """Installing a command would exceed the node's flash/RAM budget."""
+
+
+class NoSuchNode(KernelError):
+    """A node name or address does not resolve in the testbed namespace."""
+
+
+class NoSuchSyscall(KernelError):
+    """A thread invoked an unregistered system call."""
+
+
+class NeighborTableFull(KernelError):
+    """The kernel neighbor table has no evictable slot left."""
+
+
+# --------------------------------------------------------------------------
+# LiteView commands
+# --------------------------------------------------------------------------
+
+class CommandError(ReproError):
+    """Base class for command-interpreter errors."""
+
+
+class UnknownCommand(CommandError):
+    """The shell line does not name a registered command."""
+
+
+class ParameterError(CommandError):
+    """Bad or missing command parameter (e.g. ``round=abc``)."""
+
+
+class CommandTimeout(CommandError):
+    """A command did not complete within its response window."""

@@ -1,0 +1,70 @@
+"""Kernel event log: on-demand logging of internal events.
+
+The paper positions LiteView alongside LiteOS's "support for
+understanding system dynamics based on on-demand logging of internal
+events".  This is that facility: a bounded ring of time-stamped events
+the kernel services append to (radio reconfigurations, blacklist
+changes, neighbor evictions, command thread launches), retrievable over
+the air through the runtime controller (`events` in the shell).
+
+The ring is sized for mote RAM: old events fall off the back, and the
+total dropped count is retained so a reader can tell the log wrapped.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["KernelEvent", "EventLog", "DEFAULT_CAPACITY"]
+
+#: Ring size: 32 events × ~40 B fits easily in mote RAM.
+DEFAULT_CAPACITY = 32
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One logged kernel event."""
+
+    time: float
+    code: str      # short machine-readable tag, e.g. "radio.power"
+    detail: str    # human-readable specifics, e.g. "31 -> 10"
+
+    def render(self) -> str:
+        return f"[{self.time:10.3f}] {self.code}: {self.detail}"
+
+
+class EventLog:
+    """Bounded ring of kernel events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque[KernelEvent] = deque(maxlen=capacity)
+        #: Events that fell off the back of the ring.
+        self.dropped = 0
+        #: Total events ever logged.
+        self.logged = 0
+
+    def log(self, time: float, code: str, detail: str = "") -> None:
+        """Append one event (oldest entry evicted when full)."""
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(KernelEvent(time=time, code=code, detail=detail))
+        self.logged += 1
+
+    def recent(self, limit: int | None = None) -> list[KernelEvent]:
+        """The most recent events, oldest first."""
+        events = list(self._ring)
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
+
+    def clear(self) -> None:
+        """Empty the ring (the dropped/logged totals are kept)."""
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)

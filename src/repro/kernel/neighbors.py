@@ -1,0 +1,261 @@
+"""Kernel-maintained neighbor table with beacons and blacklists (§III-B.2).
+
+The paper's design decision, reproduced here: neighborhood state lives in
+the *kernel*, not in any protocol — "it is more efficient to provide
+neighborhood management as part of kernel services, which both users and
+applications can access via system calls."  Every node broadcasts periodic
+beacons carrying its name and position; receivers maintain entries with
+EWMA link-quality estimates.  LiteView's neighborhood commands then just
+expose this table: list it, blacklist entries (a per-entry *enabled* flag
+that all routing protocols honour), and retune the beacon frequency.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.errors import ProcessInterrupt
+from repro.net.packet import ANY_NODE, Packet
+from repro.net.ports import WellKnownPorts
+from repro.radio.medium import FrameArrival
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.node import SensorNode
+
+__all__ = ["NeighborEntry", "NeighborTable", "DEFAULT_BEACON_INTERVAL"]
+
+#: Default beacon period (seconds); the `update` command retunes it.
+DEFAULT_BEACON_INTERVAL = 2.0
+
+_BEACON_FMT = ">ffB"  # x, y, name length; name bytes follow
+
+
+@dataclass
+class NeighborEntry:
+    """One row of the kernel neighbor table."""
+
+    node_id: int
+    name: str
+    position: tuple[float, float] | None
+    lqi: float = 0.0          # EWMA of beacon LQI
+    rssi: float = 0.0         # EWMA of beacon RSSI readings
+    first_heard: float = 0.0
+    last_heard: float = 0.0
+    beacons_received: int = 0
+    first_seq: int = 0
+    last_seq: int = 0
+    #: The paper's blacklist flag: "the kernel associates a field to each
+    #: neighbor entry that specifies whether or not the current neighbor
+    #: is considered enabled".
+    enabled: bool = True
+
+    @property
+    def prr_estimate(self) -> float:
+        """Beacon delivery ratio estimated from sequence-number gaps."""
+        expected = ((self.last_seq - self.first_seq) & 0xFFFF) + 1
+        if expected <= 0:
+            return 0.0
+        return min(1.0, self.beacons_received / expected)
+
+
+class NeighborTable:
+    """Kernel neighbor service: beaconing, estimation, blacklist."""
+
+    def __init__(self, node: "SensorNode", *,
+                 capacity: int = 16,
+                 beacon_interval: float = DEFAULT_BEACON_INTERVAL,
+                 lifetime_factor: float = 3.5,
+                 ewma_alpha: float = 0.3,
+                 beaconing: bool = True):
+        if capacity < 1:
+            raise ValueError("neighbor table capacity must be >= 1")
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError("EWMA alpha must be in (0, 1]")
+        self.node = node
+        self.capacity = capacity
+        self.lifetime_factor = float(lifetime_factor)
+        self.ewma_alpha = float(ewma_alpha)
+        self._beacon_interval = float(beacon_interval)
+        self._entries: dict[int, NeighborEntry] = {}
+        self._blacklist: set[int] = set()
+        self._seq = 0
+        self._rng = node.rng.stream(f"neighbors.jitter.{node.id}")
+        node.stack.ports.subscribe(
+            WellKnownPorts.NEIGHBOR, self._on_beacon, name="neighbor-beacons"
+        )
+        #: A non-beaconing node (e.g. the management workstation) hears
+        #: its neighborhood but never advertises itself, so routing
+        #: protocols on other nodes cannot pick it as a next hop.
+        self.beaconing = beaconing
+        self._beacon_process = None
+        if beaconing:
+            self._beacon_process = node.env.process(
+                self._beacon_loop(), name=f"beacons-{node.id}"
+            )
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def beacon_interval(self) -> float:
+        """Current beacon period (the `update` command's knob)."""
+        return self._beacon_interval
+
+    def set_beacon_interval(self, interval: float) -> None:
+        """Retune the beacon frequency (takes effect next period)."""
+        if interval <= 0:
+            raise ValueError(f"beacon interval must be positive: {interval}")
+        self.node.events.log(self.node.env.now, "neighbor.beacon_interval",
+                             f"{self._beacon_interval:g}s -> {interval:g}s")
+        self._beacon_interval = float(interval)
+
+    @property
+    def entry_lifetime(self) -> float:
+        """How long a silent neighbor stays in the table."""
+        return self.lifetime_factor * self._beacon_interval
+
+    # -- table access ---------------------------------------------------------
+
+    def entries(self) -> list[NeighborEntry]:
+        """Live entries, sorted by node id (expired ones purged first)."""
+        self._expire()
+        return sorted(self._entries.values(), key=lambda e: e.node_id)
+
+    def usable(self) -> list[NeighborEntry]:
+        """Live entries that are not blacklisted — what protocols use."""
+        return [e for e in self.entries() if e.enabled]
+
+    def usable_ids(self) -> list[int]:
+        """Node ids of usable neighbors."""
+        return [e.node_id for e in self.usable()]
+
+    def lookup(self, node_id: int) -> NeighborEntry | None:
+        """The live entry for ``node_id``, if present."""
+        self._expire()
+        return self._entries.get(node_id)
+
+    def position_of(self, node_id: int) -> tuple[float, float] | None:
+        """A neighbor's beaconed position, if known."""
+        entry = self.lookup(node_id)
+        return entry.position if entry else None
+
+    # -- blacklist -----------------------------------------------------------------
+
+    def blacklist(self, node_id: int) -> None:
+        """Temporarily stop communicating with a neighbor."""
+        self._blacklist.add(node_id)
+        entry = self._entries.get(node_id)
+        if entry:
+            entry.enabled = False
+        self.node.events.log(self.node.env.now, "neighbor.blacklist",
+                             f"node {node_id} disabled")
+
+    def unblacklist(self, node_id: int) -> None:
+        """Re-enable a previously blacklisted neighbor."""
+        self._blacklist.discard(node_id)
+        entry = self._entries.get(node_id)
+        if entry:
+            entry.enabled = True
+        self.node.events.log(self.node.env.now, "neighbor.blacklist",
+                             f"node {node_id} re-enabled")
+
+    def is_blacklisted(self, node_id: int) -> bool:
+        """Whether traffic to/from ``node_id`` is currently suppressed."""
+        return node_id in self._blacklist
+
+    def blacklisted_ids(self) -> list[int]:
+        """Sorted blacklisted node ids."""
+        return sorted(self._blacklist)
+
+    # -- beaconing ------------------------------------------------------------------
+
+    def _beacon_loop(self):
+        try:
+            yield self.node.env.timeout(
+                float(self._rng.uniform(0.0, self._beacon_interval))
+            )
+            while True:
+                self._send_beacon()
+                jitter = float(self._rng.uniform(-0.1, 0.1))
+                yield self.node.env.timeout(
+                    self._beacon_interval * (1.0 + jitter)
+                )
+        except ProcessInterrupt:
+            return
+
+    def _send_beacon(self) -> None:
+        self._seq = (self._seq + 1) & 0xFFFF
+        name_bytes = self.node.name.encode("utf-8")[:40]
+        x, y = self.node.position
+        payload = struct.pack(_BEACON_FMT, x, y, len(name_bytes)) + name_bytes
+        packet = Packet(
+            port=WellKnownPorts.NEIGHBOR, origin=self.node.id,
+            dest=ANY_NODE, payload=payload, seq=self._seq, ttl=1,
+        )
+        self.node.stack.broadcast(packet, kind="beacon")
+        self.node.monitor.count("neighbors.beacons_sent")
+
+    def _on_beacon(self, packet: Packet, arrival: FrameArrival | None) -> None:
+        if arrival is None or packet.origin == self.node.id:
+            return
+        try:
+            x, y, name_len = struct.unpack_from(_BEACON_FMT, packet.payload)
+            name = packet.payload[
+                struct.calcsize(_BEACON_FMT):
+                struct.calcsize(_BEACON_FMT) + name_len
+            ].decode("utf-8")
+        except (struct.error, UnicodeDecodeError):
+            self.node.monitor.count("neighbors.malformed_beacons")
+            return
+        self.node.monitor.count("neighbors.beacons_received")
+        self._update(packet.origin, name, (x, y), packet.seq, arrival)
+
+    def _update(self, node_id: int, name: str,
+                position: tuple[float, float], seq: int,
+                arrival: FrameArrival) -> None:
+        now = self.node.env.now
+        entry = self._entries.get(node_id)
+        if entry is None:
+            self._expire()
+            if len(self._entries) >= self.capacity:
+                self._evict()
+            entry = NeighborEntry(
+                node_id=node_id, name=name, position=position,
+                lqi=float(arrival.lqi), rssi=float(arrival.rssi),
+                first_heard=now, last_heard=now, beacons_received=1,
+                first_seq=seq, last_seq=seq,
+                enabled=node_id not in self._blacklist,
+            )
+            self._entries[node_id] = entry
+            return
+        alpha = self.ewma_alpha
+        entry.name = name
+        entry.position = position
+        entry.lqi = (1 - alpha) * entry.lqi + alpha * arrival.lqi
+        entry.rssi = (1 - alpha) * entry.rssi + alpha * arrival.rssi
+        entry.last_heard = now
+        entry.beacons_received += 1
+        entry.last_seq = seq
+
+    def _expire(self) -> None:
+        now = self.node.env.now
+        lifetime = self.entry_lifetime
+        stale = [nid for nid, e in self._entries.items()
+                 if now - e.last_heard > lifetime]
+        for nid in stale:
+            del self._entries[nid]
+            self.node.monitor.count("neighbors.expired")
+            self.node.events.log(now, "neighbor.expired",
+                                 f"node {nid} fell silent")
+
+    def _evict(self) -> None:
+        """Drop the longest-silent entry to make room (LRU policy)."""
+        oldest = min(self._entries.values(), key=lambda e: e.last_heard)
+        del self._entries[oldest.node_id]
+        self.node.monitor.count("neighbors.evicted")
+
+    def stop(self) -> None:
+        """Stop beaconing (used when a node is shut down)."""
+        if self._beacon_process is not None:
+            self._beacon_process.interrupt("node stopped")

@@ -1,0 +1,21 @@
+"""802.15.4-style MAC substrate: frames, transmit queue, CSMA/CA."""
+
+from repro.mac.csma import CsmaMac
+from repro.mac.frame import (
+    BROADCAST,
+    FRAME_OVERHEAD_BYTES,
+    MAX_PAYLOAD_BYTES,
+    Frame,
+    frame_airtime,
+)
+from repro.mac.queue import TxQueue
+
+__all__ = [
+    "Frame",
+    "frame_airtime",
+    "BROADCAST",
+    "FRAME_OVERHEAD_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "TxQueue",
+    "CsmaMac",
+]

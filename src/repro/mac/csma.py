@@ -1,0 +1,138 @@
+"""Unslotted CSMA/CA in the style of 802.15.4.
+
+Each node runs one transmit process: pop a frame from the
+:class:`~repro.mac.queue.TxQueue`, back off a random number of unit
+periods, carrier-sense, and transmit when clear — doubling the backoff
+window (up to ``MAX_BE``) on every busy assessment and dropping the frame
+after ``MAX_BACKOFFS`` failures, exactly as macMinBE/macMaxBE/macMaxCSMABackoffs
+prescribe.  The random hold-and-release this creates under load is the
+mechanism behind the paper's Figure 5 observation that reports can arrive
+back-to-back ("the routing layer ... will add random jitters before
+sending out packets in the queue").
+
+No MAC-level acknowledgements are modelled: LiteView's reliability lives
+in its own command-layer protocol (per-batch acks, §IV-B of the paper),
+and the LiteOS broadcast MAC the paper builds on does not ack either.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.mac.frame import Frame
+from repro.mac.queue import TxQueue
+from repro.radio.medium import FrameArrival, RadioMedium, Transceiver
+from repro.sim.engine import Environment
+from repro.sim.monitor import Monitor
+from repro.sim.rng import RngRegistry
+from repro.units import us
+
+__all__ = ["CsmaMac"]
+
+#: aUnitBackoffPeriod: 20 symbols of 16 us.
+UNIT_BACKOFF = us(320)
+#: macMinBE / macMaxBE / macMaxCSMABackoffs defaults.
+MIN_BE = 3
+MAX_BE = 5
+MAX_BACKOFFS = 4
+#: Rx/Tx turnaround before a frame actually leaves the radio.
+TURNAROUND = us(192)
+
+
+class CsmaMac:
+    """One node's MAC: bounded queue + CSMA/CA transmit process."""
+
+    def __init__(
+        self,
+        env: Environment,
+        medium: RadioMedium,
+        xcvr: Transceiver,
+        rng: RngRegistry,
+        monitor: Monitor,
+        *,
+        queue_capacity: int = 8,
+    ) -> None:
+        self.env = env
+        self.medium = medium
+        self.xcvr = xcvr
+        self.monitor = monitor
+        self.node_id = xcvr.node_id
+        self.queue = TxQueue(env, capacity=queue_capacity)
+        self._rng = rng.stream(f"mac.backoff.{self.node_id}")
+        self._receive_handler: _t.Callable[[FrameArrival], None] | None = None
+        xcvr.set_receive_handler(self._on_arrival)
+        self._tx_process = env.process(self._tx_loop(), name=f"mac-tx-{self.node_id}")
+
+    # -- upper-layer interface ------------------------------------------------
+
+    def set_receive_handler(
+        self, handler: _t.Callable[[FrameArrival], None]
+    ) -> None:
+        """Install the network-stack delivery callback."""
+        self._receive_handler = handler
+
+    def send(self, frame: Frame) -> bool:
+        """Enqueue a frame for transmission.
+
+        Returns False (and counts the drop) when the queue is full — the
+        caller sees the same silent loss a real overloaded mote produces.
+        """
+        accepted = self.queue.put(frame)
+        if not accepted:
+            self.monitor.count("mac.queue_drops")
+        return accepted
+
+    @property
+    def queue_occupancy(self) -> int:
+        """Frames currently waiting — the ping report's ``Queue`` value."""
+        return self.queue.occupancy
+
+    # -- transmit path -----------------------------------------------------------
+
+    def _tx_loop(self):
+        while True:
+            frame = yield self.queue.get()
+            sent = yield from self._csma_transmit(frame)
+            if sent:
+                self.monitor.count("mac.sent_frames")
+            else:
+                self.monitor.count("mac.cca_failures")
+
+    def _csma_transmit(self, frame: Frame):
+        """One CSMA/CA attempt cycle; returns True if the frame aired."""
+        be = MIN_BE
+        for _attempt in range(MAX_BACKOFFS + 1):
+            slots = int(self._rng.integers(0, 2 ** be))
+            yield self.env.timeout(slots * UNIT_BACKOFF)
+            if not self.xcvr.enabled:
+                # The radio was switched off while the frame waited; drop
+                # it like the silicon would.
+                self.monitor.count("mac.radio_off_drops")
+                return False
+            if not self.medium.cca_busy(self.xcvr):
+                yield self.env.timeout(TURNAROUND)
+                if not self.xcvr.enabled:
+                    self.monitor.count("mac.radio_off_drops")
+                    return False
+                yield self.medium.transmit(self.xcvr, frame)
+                return True
+            be = min(be + 1, MAX_BE)
+            self.monitor.count("mac.busy_assessments")
+        return False
+
+    # -- receive path ------------------------------------------------------------
+
+    def _on_arrival(self, arrival: FrameArrival) -> None:
+        """Filter by MAC address and hand good frames up the stack.
+
+        Corrupted frames are passed up too: the communication stack's CRC
+        checker (Figure 2 of the paper) is the component responsible for
+        discarding them.
+        """
+        frame = arrival.frame
+        if not frame.is_broadcast and frame.dst != self.node_id:
+            self.monitor.count("mac.filtered_frames")
+            return
+        self.monitor.count("mac.received_frames")
+        if self._receive_handler is not None:
+            self._receive_handler(arrival)

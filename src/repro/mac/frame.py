@@ -1,0 +1,100 @@
+"""802.15.4 frame layout and airtime arithmetic.
+
+The MAC layer treats the network-layer packet as an opaque byte string
+(the paper's stack keeps packets as "the only shared data between
+layers").  What the MAC adds is addressing, a sequence number, a traffic
+class used by the monitor, and the on-air size accounting that drives
+frame airtime — which in turn drives every delay the evaluation measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.units import BYTE_AIRTIME
+
+__all__ = [
+    "BROADCAST",
+    "PHY_OVERHEAD_BYTES",
+    "MAC_HEADER_BYTES",
+    "FCS_BYTES",
+    "FRAME_OVERHEAD_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "Frame",
+    "frame_airtime",
+]
+
+#: MAC broadcast address.
+BROADCAST = 0xFFFF
+
+#: PHY synchronisation header: 4-byte preamble + 1-byte SFD + 1-byte length.
+PHY_OVERHEAD_BYTES = 6
+#: MAC header: frame control (2) + sequence (1) + PAN/addresses (6).
+MAC_HEADER_BYTES = 9
+#: Frame check sequence appended by the radio.
+FCS_BYTES = 2
+#: Total per-frame on-air overhead.
+FRAME_OVERHEAD_BYTES = PHY_OVERHEAD_BYTES + MAC_HEADER_BYTES + FCS_BYTES
+#: 802.15.4 caps PSDU at 127 bytes; minus MAC header and FCS.
+MAX_PAYLOAD_BYTES = 127 - MAC_HEADER_BYTES - FCS_BYTES
+
+_seq_counter = count()
+
+
+def frame_airtime(payload_bytes: int) -> float:
+    """On-air duration of a frame carrying ``payload_bytes`` of payload."""
+    if payload_bytes < 0:
+        raise ValueError(f"negative payload size {payload_bytes}")
+    return (FRAME_OVERHEAD_BYTES + payload_bytes) * BYTE_AIRTIME
+
+
+@dataclass
+class Frame:
+    """One MAC frame.
+
+    ``payload`` holds the serialised network-layer packet; ``kind`` is a
+    traffic-class label consumed only by the monitor (so the overhead
+    bench can count control packets the way Figure 7 does).
+    """
+
+    src: int
+    dst: int
+    payload: bytes
+    kind: str = "data"
+    #: Network-layer port carried inside the payload, surfaced here only
+    #: for the monitor's packet log (the MAC itself never reads it).
+    port: int | None = None
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.payload, (bytes, bytearray)):
+            raise TypeError(
+                f"frame payload must be bytes, got {type(self.payload).__name__}"
+            )
+        self.payload = bytes(self.payload)
+        if len(self.payload) > MAX_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload {len(self.payload)} B exceeds 802.15.4 limit of "
+                f"{MAX_PAYLOAD_BYTES} B"
+            )
+
+    @property
+    def payload_bytes(self) -> int:
+        """Length of the carried payload in bytes."""
+        return len(self.payload)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-air size including PHY/MAC overhead."""
+        return FRAME_OVERHEAD_BYTES + len(self.payload)
+
+    @property
+    def airtime(self) -> float:
+        """On-air duration of this frame in seconds."""
+        return frame_airtime(len(self.payload))
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True if addressed to every listener."""
+        return self.dst == BROADCAST

@@ -1,0 +1,44 @@
+"""Port-based communication stack (Figure 2 of the paper)."""
+
+from repro.net.crc import append_crc, crc16, split_and_verify
+from repro.net.packet import ANY_NODE, DEFAULT_TTL, HEADER_BYTES, Packet
+from repro.net.padding import (
+    PAD_ENTRY_BYTES,
+    PAYLOAD_REGION_BYTES,
+    HopQuality,
+    max_padded_hops,
+)
+from repro.net.ports import PortMap, Subscription, WellKnownPorts
+from repro.net.routing import (
+    TREE_PORT,
+    DsdvRouting,
+    TreeRouting,
+    FloodingProtocol,
+    GeographicForwarding,
+    RoutingProtocol,
+)
+from repro.net.stack import CommunicationStack
+
+__all__ = [
+    "crc16",
+    "append_crc",
+    "split_and_verify",
+    "Packet",
+    "ANY_NODE",
+    "DEFAULT_TTL",
+    "HEADER_BYTES",
+    "HopQuality",
+    "max_padded_hops",
+    "PAYLOAD_REGION_BYTES",
+    "PAD_ENTRY_BYTES",
+    "PortMap",
+    "Subscription",
+    "WellKnownPorts",
+    "CommunicationStack",
+    "RoutingProtocol",
+    "GeographicForwarding",
+    "FloodingProtocol",
+    "DsdvRouting",
+    "TreeRouting",
+    "TREE_PORT",
+]

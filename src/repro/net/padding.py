@@ -1,0 +1,81 @@
+"""Link-quality padding (§IV-C.3 of the paper).
+
+The routing layer reserves a fixed 64-byte payload region.  When a packet
+carries fewer data bytes than that, the *unused tail* — bytes that would
+normally not be transmitted at all — can be progressively filled with one
+(LQI, RSSI) pair per hop.  The packet grows by two bytes per hop, and the
+hop budget is whatever fits: a 16-byte probe can record 24 hops, which the
+paper deems "sufficient for most applications".
+
+The mechanism never touches the data payload itself (the paper's third
+implementation challenge: "we should not directly store link quality
+information into the original payload of packets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PaddingOverflow
+
+__all__ = ["PAYLOAD_REGION_BYTES", "PAD_ENTRY_BYTES", "HopQuality",
+           "max_padded_hops", "encode_entries", "decode_entries"]
+
+#: The routing layer's fixed payload region ("a default payload of 64
+#: bytes, serving as the upper limit on the length of data payloads").
+PAYLOAD_REGION_BYTES = 64
+#: Each hop appends LQI (1 B) and RSSI (1 B, signed).
+PAD_ENTRY_BYTES = 2
+
+
+@dataclass(frozen=True)
+class HopQuality:
+    """One hop's recorded link quality: the padding's unit of storage."""
+
+    lqi: int
+    rssi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lqi <= 255:
+            raise ValueError(f"LQI {self.lqi} outside 0..255")
+        if not -128 <= self.rssi <= 127:
+            raise ValueError(f"RSSI {self.rssi} outside signed-byte range")
+
+
+def max_padded_hops(payload_bytes: int) -> int:
+    """How many hops a payload of this size can record before the region
+    is exhausted.  The paper's example: 16-byte probe → 24 hops."""
+    if payload_bytes < 0:
+        raise ValueError(f"negative payload size {payload_bytes}")
+    if payload_bytes > PAYLOAD_REGION_BYTES:
+        raise ValueError(
+            f"payload {payload_bytes} B exceeds the {PAYLOAD_REGION_BYTES} B "
+            "payload region"
+        )
+    return (PAYLOAD_REGION_BYTES - payload_bytes) // PAD_ENTRY_BYTES
+
+
+def encode_entries(entries: list[HopQuality]) -> bytes:
+    """Serialise pad entries (LQI byte, RSSI signed byte, per hop)."""
+    out = bytearray()
+    for entry in entries:
+        out.append(entry.lqi)
+        out.append(entry.rssi & 0xFF)
+    return bytes(out)
+
+
+def decode_entries(data: bytes) -> list[HopQuality]:
+    """Parse a padding byte region back into hop-quality entries."""
+    if len(data) % PAD_ENTRY_BYTES:
+        raise PaddingOverflow(
+            f"padding region of {len(data)} B is not a whole number of "
+            f"{PAD_ENTRY_BYTES}-byte entries"
+        )
+    entries = []
+    for i in range(0, len(data), PAD_ENTRY_BYTES):
+        lqi = data[i]
+        rssi = data[i + 1]
+        if rssi >= 128:
+            rssi -= 256
+        entries.append(HopQuality(lqi=lqi, rssi=rssi))
+    return entries

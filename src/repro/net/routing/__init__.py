@@ -1,0 +1,18 @@
+"""Routing protocols: port-isolated, runtime-selectable (§IV-A.1)."""
+
+from repro.net.routing.base import MSG_DATA, RoutingProtocol
+from repro.net.routing.dsdv import DsdvRouting, Route
+from repro.net.routing.flooding import FloodingProtocol
+from repro.net.routing.geographic import GeographicForwarding
+from repro.net.routing.tree import TREE_PORT, TreeRouting
+
+__all__ = [
+    "RoutingProtocol",
+    "MSG_DATA",
+    "GeographicForwarding",
+    "FloodingProtocol",
+    "DsdvRouting",
+    "Route",
+    "TreeRouting",
+    "TREE_PORT",
+]

@@ -1,0 +1,53 @@
+"""LQI (Link Quality Indicator) model.
+
+Per 802.15.4 and the CC2420 implementation the paper describes, LQI is
+derived from the average chip correlation of the first eight symbols after
+the SFD: roughly 110 for the cleanest receivable frames down to about 50
+at the decode limit.  Unlike RSSI, LQI responds to *signal quality* (i.e.
+SINR), not raw strength — a strong frame hit by interference reports a low
+LQI but a high RSSI.  We therefore map SINR through a saturating curve
+fitted to the empirical CC2420 correlator behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.rng import RngRegistry
+
+__all__ = ["LQI_MIN", "LQI_MAX", "LqiModel", "lqi_from_sinr"]
+
+#: Correlator bounds the paper quotes: "around 110 indicates the highest
+#: quality while a value of 50 the lowest".
+LQI_MIN = 50
+LQI_MAX = 110
+
+#: Sigmoid fit: LQI transitions between the bounds around the PRR
+#: waterfall (−3..+1 dB for this link model), saturating above ~12 dB —
+#: so frames that barely decode report LQI in the 60s-80s and clean links
+#: report the paper's 103-110 range.
+_MIDPOINT_DB = 0.0
+_SLOPE = 0.5
+
+
+def lqi_from_sinr(sinr_db: float) -> float:
+    """Noise-free expected LQI at a given SINR (continuous value)."""
+    frac = 1.0 / (1.0 + math.exp(-_SLOPE * (sinr_db - _MIDPOINT_DB)))
+    return LQI_MIN + (LQI_MAX - LQI_MIN) * frac
+
+
+class LqiModel:
+    """Produces noisy integer LQI values in [LQI_MIN, LQI_MAX]."""
+
+    def __init__(self, rng: RngRegistry, noise_sigma: float = 1.5):
+        if noise_sigma < 0:
+            raise ValueError("noise sigma must be non-negative")
+        self.noise_sigma = float(noise_sigma)
+        self._rng = rng.stream("radio.lqi")
+
+    def reading(self, sinr_db: float) -> int:
+        """One measured LQI value for a frame received at ``sinr_db``."""
+        value = lqi_from_sinr(sinr_db)
+        if self.noise_sigma > 0:
+            value += float(self._rng.normal(0.0, self.noise_sigma))
+        return int(min(LQI_MAX, max(LQI_MIN, round(value))))

@@ -1,0 +1,341 @@
+"""The shared radio medium: who hears whom, and how well.
+
+:class:`RadioMedium` is the single point through which every frame in the
+simulated testbed flows.  For each transmission it:
+
+1. draws the per-receiver received power from the propagation model
+   (static directed shadowing gives stable, possibly asymmetric links);
+2. tracks concurrent transmissions so interference and half-duplex
+   conflicts produce collisions, and so CCA (carrier sense) works;
+3. at end-of-frame, converts SINR to a reception probability via the
+   802.15.4 link model and delivers the frame — intact, corrupted (the
+   stack's CRC checker then discards it), or not at all;
+4. stamps each delivery with the receiver-side observables LiteView
+   collects: RSSI register reading and LQI; and
+5. logs every transmission to the monitor (Figure 7 counts these).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.errors import RadioError
+from repro.radio.cc2420 import (
+    CCA_THRESHOLD_DBM,
+    NOISE_FLOOR_DBM,
+    SENSITIVITY_DBM,
+    RadioConfig,
+)
+from repro.radio.lqi import LqiModel
+from repro.radio.modulation import packet_reception_ratio
+from repro.radio.propagation import LogDistancePropagation
+from repro.radio.rssi import RssiModel
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.sim.monitor import Monitor, PacketRecord
+from repro.sim.rng import RngRegistry
+from repro.units import dbm_sum
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.frame import Frame
+
+__all__ = ["FrameArrival", "Transceiver", "RadioMedium", "CAPTURE_THRESHOLD_DB"]
+
+#: Minimum SINR for decoding *in the presence of an overlapping frame*.
+#: The analytic PRR curve assumes Gaussian noise; a co-channel 802.15.4
+#: frame is not Gaussian, and real correlators cannot separate two
+#: overlapping signals of comparable strength.  A ~4 dB capture margin is
+#: the standard fix (cf. the capture-effect literature for CC2420).
+CAPTURE_THRESHOLD_DB = 4.0
+
+
+@dataclass(frozen=True)
+class FrameArrival:
+    """A frame as seen by one receiver, with PHY observables attached."""
+
+    frame: "Frame"
+    payload: bytes          # possibly corrupted copy of frame.payload
+    sender: int
+    receiver: int
+    channel: int
+    rx_power_dbm: float
+    sinr_db: float
+    rssi: int               # RSSI register reading
+    lqi: int                # LQI correlator value
+    crc_ok: bool            # whether the payload survived intact
+    time: float
+
+
+class Transceiver:
+    """One node's radio front end, attached to the shared medium."""
+
+    def __init__(self, medium: "RadioMedium", node_id: int,
+                 position: tuple[float, float], config: RadioConfig):
+        self.medium = medium
+        self.node_id = node_id
+        self.position = (float(position[0]), float(position[1]))
+        self.config = config
+        #: Radio on/off; an off radio neither receives nor carrier-senses.
+        self.enabled = True
+        self._receive_handler: _t.Callable[[FrameArrival], None] | None = None
+        self._transmitting_until = -1.0
+
+    def set_receive_handler(
+        self, handler: _t.Callable[[FrameArrival], None]
+    ) -> None:
+        """Install the MAC-layer delivery callback."""
+        self._receive_handler = handler
+
+    @property
+    def is_transmitting(self) -> bool:
+        """True while a frame of ours is on the air."""
+        return self._transmitting_until > self.medium.env.now
+
+    def deliver(self, arrival: FrameArrival) -> None:
+        """Hand an arrival to the MAC (no-op if the radio is off)."""
+        if self.enabled and self._receive_handler is not None:
+            self._receive_handler(arrival)
+
+
+@dataclass
+class _ActiveTransmission:
+    """Bookkeeping for one in-flight frame."""
+
+    sender: int
+    channel: int
+    tx_power_dbm: float
+    start: float
+    end: float
+    #: Received power at every same-channel transceiver, drawn at start.
+    rx_powers: dict[int, float]
+    #: Other transmissions whose airtime overlaps ours.
+    overlapping: list["_ActiveTransmission"] = field(default_factory=list)
+
+
+class RadioMedium:
+    """The shared wireless channel for one simulated testbed."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: RngRegistry,
+        monitor: Monitor,
+        propagation: LogDistancePropagation,
+        *,
+        corrupt_delivery_fraction: float = 0.3,
+    ) -> None:
+        self.env = env
+        self.monitor = monitor
+        self.propagation = propagation
+        self.rssi_model = RssiModel(rng)
+        self.lqi_model = LqiModel(rng)
+        self._loss_rng = rng.stream("medium.reception")
+        self._corrupt_rng = rng.stream("medium.corruption")
+        self._xcvrs: dict[int, Transceiver] = {}
+        self._active: list[_ActiveTransmission] = []
+        #: Fraction of failed receptions delivered as corrupted bytes (so
+        #: the stack's CRC checker sees real work) rather than silence.
+        self.corrupt_delivery_fraction = float(corrupt_delivery_fraction)
+
+    # -- membership --------------------------------------------------------
+
+    def attach(self, node_id: int, position: tuple[float, float],
+               config: RadioConfig | None = None) -> Transceiver:
+        """Register a node's radio at ``position``."""
+        if node_id in self._xcvrs:
+            raise RadioError(f"node {node_id} already attached to the medium")
+        xcvr = Transceiver(self, node_id, position, config or RadioConfig())
+        self._xcvrs[node_id] = xcvr
+        return xcvr
+
+    def transceiver(self, node_id: int) -> Transceiver:
+        """Look up an attached transceiver by node id."""
+        try:
+            return self._xcvrs[node_id]
+        except KeyError:
+            raise RadioError(f"node {node_id} not attached") from None
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two attached nodes."""
+        pa, pb = self._xcvrs[a].position, self._xcvrs[b].position
+        return ((pa[0] - pb[0]) ** 2 + (pa[1] - pb[1]) ** 2) ** 0.5
+
+    def node_ids(self) -> list[int]:
+        """Sorted ids of all attached nodes."""
+        return sorted(self._xcvrs)
+
+    # -- carrier sense ---------------------------------------------------------
+
+    def cca_busy(self, xcvr: Transceiver) -> bool:
+        """Clear-channel assessment: is detectable energy on the air?"""
+        now = self.env.now
+        if xcvr._transmitting_until > now:
+            return True
+        self._prune(now)
+        for tx in self._active:
+            if tx.channel != xcvr.config.channel:
+                continue
+            power = tx.rx_powers.get(xcvr.node_id)
+            if power is not None and power >= CCA_THRESHOLD_DBM:
+                return True
+        return False
+
+    def ambient_power_dbm(self, xcvr: Transceiver) -> float:
+        """Instantaneous RF energy at a node on its current channel.
+
+        This is what the CC2420's RSSI register reports when no frame is
+        being received: the noise floor plus whatever concurrent
+        transmissions leak in.  The channel-scan utility samples it per
+        channel to find quiet spectrum.
+        """
+        now = self.env.now
+        self._prune(now)
+        powers = []
+        for tx in self._active:
+            if tx.channel != xcvr.config.channel:
+                continue
+            if tx.sender == xcvr.node_id:
+                continue
+            power = tx.rx_powers.get(xcvr.node_id)
+            if power is None:
+                # The sampler hopped onto this channel after the frame
+                # started; compute its leakage on the fly.
+                power = self.propagation.mean_received_power_dbm(
+                    tx.tx_power_dbm, tx.sender, xcvr.node_id,
+                    self.distance(tx.sender, xcvr.node_id),
+                )
+            powers.append(power)
+        return dbm_sum(NOISE_FLOOR_DBM, *powers)
+
+    # -- transmission ------------------------------------------------------------
+
+    def transmit(self, xcvr: Transceiver, frame: "Frame") -> Event:
+        """Put ``frame`` on the air; the returned event fires at end-of-air.
+
+        Reception outcomes for every candidate receiver are evaluated at
+        end-of-frame so that interference from transmissions starting
+        mid-frame is accounted for.
+        """
+        if not xcvr.enabled:
+            raise RadioError(f"node {xcvr.node_id}: radio is off")
+        now = self.env.now
+        self._prune(now)
+        channel = xcvr.config.channel
+        tx_power = xcvr.config.tx_power_dbm
+        airtime = frame.airtime
+
+        # Draw received powers for every same-channel transceiver, in
+        # sorted id order for determinism.
+        rx_powers: dict[int, float] = {}
+        for rid in sorted(self._xcvrs):
+            if rid == xcvr.node_id:
+                continue
+            other = self._xcvrs[rid]
+            if other.config.channel != channel:
+                continue
+            rx_powers[rid] = self.propagation.received_power_dbm(
+                tx_power, xcvr.node_id, rid, self.distance(xcvr.node_id, rid)
+            )
+
+        tx = _ActiveTransmission(
+            sender=xcvr.node_id, channel=channel, tx_power_dbm=tx_power,
+            start=now, end=now + airtime, rx_powers=rx_powers,
+        )
+        tx.overlapping = list(self._active)
+        for other_tx in self._active:
+            other_tx.overlapping.append(tx)
+        self._active.append(tx)
+        xcvr._transmitting_until = tx.end
+
+        done = self.env.timeout(airtime)
+        done.add_callback(lambda _ev: self._complete(xcvr, frame, tx))
+        return done
+
+    # -- internals ---------------------------------------------------------------
+
+    def _prune(self, now: float) -> None:
+        self._active = [t for t in self._active if t.end > now]
+
+    def _complete(self, sender: Transceiver, frame: "Frame",
+                  tx: _ActiveTransmission) -> None:
+        """End-of-frame: decide every receiver's outcome and deliver."""
+        delivered_to_dst = False
+        any_delivered = False
+        for rid in sorted(tx.rx_powers):
+            receiver = self._xcvrs[rid]
+            if not receiver.enabled:
+                continue
+            rx_power = tx.rx_powers[rid]
+            if rx_power < SENSITIVITY_DBM:
+                continue
+            # Half-duplex: a node that transmitted during our airtime
+            # cannot have received us.
+            if any(o.sender == rid for o in tx.overlapping):
+                self.monitor.count("medium.halfduplex_loss")
+                continue
+            interference = [
+                o.rx_powers[rid]
+                for o in tx.overlapping
+                if o.channel == tx.channel and rid in o.rx_powers
+            ]
+            noise_dbm = dbm_sum(NOISE_FLOOR_DBM, *interference)
+            sinr = rx_power - noise_dbm
+            captured = True
+            if interference:
+                self.monitor.count("medium.interfered_receptions")
+                # Capture gates on the signal-to-*interference* ratio: a
+                # correlator cannot separate two comparable overlapping
+                # frames, but interference well below the signal (even if
+                # it nudges the noise floor) is just extra noise, which
+                # the PRR curve already accounts for via the SINR.
+                sir = rx_power - dbm_sum(*interference)
+                captured = sir >= CAPTURE_THRESHOLD_DB
+            prr = packet_reception_ratio(sinr, frame.size_bytes)
+            success = captured and self._loss_rng.random() < prr
+
+            payload = frame.payload
+            crc_ok = True
+            if not success:
+                if (self._corrupt_rng.random()
+                        >= self.corrupt_delivery_fraction) or not payload:
+                    self.monitor.count("medium.lost_frames")
+                    continue
+                payload = self._corrupt(payload)
+                crc_ok = False
+                self.monitor.count("medium.corrupted_frames")
+
+            arrival = FrameArrival(
+                frame=frame, payload=payload,
+                sender=tx.sender, receiver=rid, channel=tx.channel,
+                rx_power_dbm=rx_power, sinr_db=sinr,
+                rssi=self.rssi_model.reading(rx_power),
+                lqi=self.lqi_model.reading(sinr),
+                crc_ok=crc_ok, time=self.env.now,
+            )
+            receiver.deliver(arrival)
+            if crc_ok:
+                any_delivered = True
+                if rid == frame.dst:
+                    delivered_to_dst = True
+
+        self.monitor.log_packet(PacketRecord(
+            time=tx.start,
+            sender=tx.sender,
+            receiver=None if frame.is_broadcast else frame.dst,
+            kind=frame.kind,
+            port=getattr(frame, "port", None),
+            size_bytes=frame.size_bytes,
+            delivered=any_delivered if frame.is_broadcast else delivered_to_dst,
+        ))
+        self.monitor.count("medium.transmissions")
+
+    def _corrupt(self, payload: bytes) -> bytes:
+        """Flip a few random bits so the CRC checker has real work to do."""
+        data = bytearray(payload)
+        flips = max(1, int(self._corrupt_rng.integers(1, 4)))
+        for _ in range(flips):
+            idx = int(self._corrupt_rng.integers(0, len(data)))
+            bit = int(self._corrupt_rng.integers(0, 8))
+            data[idx] ^= 1 << bit
+        return bytes(data)

@@ -1,0 +1,146 @@
+"""Radio propagation: log-distance path loss with static per-link shadowing.
+
+The received power of a transmission from *a* to *b* is
+
+    P_rx = P_tx - [ PL(d0) + 10 n log10(d/d0) + X_ab + F ]
+
+where ``X_ab`` is a *static*, per-directed-link log-normal shadowing term
+and ``F`` a small per-packet fading draw.  Two modelling choices matter to
+the paper's experiments:
+
+* **Directionality** — ``X_ab`` and ``X_ba`` are drawn independently, which
+  produces the asymmetric links Figure 6 shows (forward and backward RSSI
+  curves differ) and which the abstract calls out as a diagnosis target.
+* **Staticness** — ``X_ab`` is drawn once per link, so link quality is a
+  stable property of a deployment that probing can actually characterise;
+  per-packet variation comes only from the smaller fading term.
+
+The all-pairs deterministic loss is computed as a vectorised numpy matrix
+(the hpc-parallel guides' "vectorise the hot loop" idiom) because the
+medium recomputes candidate receivers on every transmission.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+
+__all__ = ["LogDistancePropagation", "distance_matrix"]
+
+
+def distance_matrix(positions: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances for an (N, 2) position array."""
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must be (N, 2), got {positions.shape}")
+    deltas = positions[:, None, :] - positions[None, :, :]
+    return np.sqrt((deltas ** 2).sum(axis=-1))
+
+
+class LogDistancePropagation:
+    """Log-distance path loss + static directed shadowing + fading.
+
+    Parameters
+    ----------
+    rng:
+        Registry supplying the ``shadowing`` and ``fading`` streams.
+    reference_loss_db:
+        Path loss at the reference distance (default 40 dB at 1 m, a
+        common 2.4 GHz indoor/outdoor-ground value).
+    exponent:
+        Path-loss exponent ``n`` (3.0 suits near-ground sensor nodes).
+    shadowing_sigma_db:
+        Standard deviation of the static per-link shadowing term.
+    fading_sigma_db:
+        Standard deviation of the per-packet fading term.
+    """
+
+    def __init__(
+        self,
+        rng: RngRegistry,
+        *,
+        reference_loss_db: float = 40.0,
+        reference_distance_m: float = 1.0,
+        exponent: float = 3.0,
+        shadowing_sigma_db: float = 4.0,
+        fading_sigma_db: float = 1.0,
+    ) -> None:
+        if reference_distance_m <= 0:
+            raise ValueError("reference distance must be positive")
+        if exponent <= 0:
+            raise ValueError("path-loss exponent must be positive")
+        if shadowing_sigma_db < 0 or fading_sigma_db < 0:
+            raise ValueError("sigmas must be non-negative")
+        self.reference_loss_db = float(reference_loss_db)
+        self.reference_distance_m = float(reference_distance_m)
+        self.exponent = float(exponent)
+        self.shadowing_sigma_db = float(shadowing_sigma_db)
+        self.fading_sigma_db = float(fading_sigma_db)
+        self._shadow_rng = rng.stream("propagation.shadowing")
+        self._fading_rng = rng.stream("propagation.fading")
+        self._shadowing: dict[tuple[int, int], float] = {}
+
+    # -- deterministic component -------------------------------------------
+
+    def deterministic_loss_db(self, distance_m: float | np.ndarray
+                              ) -> float | np.ndarray:
+        """Pure log-distance loss, no shadowing or fading.
+
+        Distances below the reference distance clamp to the reference loss
+        (the model is not meant for near-field geometry).
+        """
+        d = np.maximum(np.asarray(distance_m, dtype=float),
+                       self.reference_distance_m)
+        loss = self.reference_loss_db + 10.0 * self.exponent * np.log10(
+            d / self.reference_distance_m
+        )
+        return float(loss) if np.isscalar(distance_m) else loss
+
+    def loss_matrix(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorised all-pairs deterministic loss (diagonal = 0 distance
+        clamps to the reference loss; callers never use self-links)."""
+        return self.deterministic_loss_db(distance_matrix(positions))
+
+    # -- stochastic components -------------------------------------------------
+
+    def link_shadowing_db(self, src: int, dst: int) -> float:
+        """The static shadowing of the *directed* link src→dst.
+
+        Drawn lazily on first use and cached for the lifetime of the
+        model, so a link's character is stable across the whole run.
+        """
+        key = (src, dst)
+        value = self._shadowing.get(key)
+        if value is None:
+            value = float(
+                self._shadow_rng.normal(0.0, self.shadowing_sigma_db)
+            )
+            self._shadowing[key] = value
+        return value
+
+    def set_link_shadowing_db(self, src: int, dst: int, value: float) -> None:
+        """Pin a link's shadowing (used by tests and fault injection —
+        e.g. forcing a broken or strongly asymmetric link)."""
+        self._shadowing[(src, dst)] = float(value)
+
+    def sample_loss_db(self, src: int, dst: int, distance_m: float) -> float:
+        """Total loss for one packet on the directed link src→dst."""
+        loss = self.deterministic_loss_db(distance_m)
+        loss += self.link_shadowing_db(src, dst)
+        if self.fading_sigma_db > 0:
+            loss += float(self._fading_rng.normal(0.0, self.fading_sigma_db))
+        return float(loss)
+
+    def received_power_dbm(self, tx_power_dbm: float, src: int, dst: int,
+                           distance_m: float) -> float:
+        """Received power for one packet on src→dst at ``tx_power_dbm``."""
+        return tx_power_dbm - self.sample_loss_db(src, dst, distance_m)
+
+    def mean_received_power_dbm(self, tx_power_dbm: float, src: int, dst: int,
+                                distance_m: float) -> float:
+        """Expected received power (no fading draw) — used for planning."""
+        return tx_power_dbm - (
+            self.deterministic_loss_db(distance_m)
+            + self.link_shadowing_db(src, dst)
+        )

@@ -1,0 +1,54 @@
+"""RSSI register model.
+
+The CC2420 reports RSSI as a signed 8-bit register value averaged over the
+first eight symbol periods (128 µs) of a frame; the RF input power is
+``RSSI_VAL + RSSI_OFFSET`` with an offset of approximately −45 dBm.  The
+paper reports raw register readings (e.g. ``RSSI = -20`` ≈ −65 dBm), so
+LiteView results carry register values and this module converts both ways.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radio.cc2420 import RSSI_OFFSET_DBM
+from repro.sim.rng import RngRegistry
+
+__all__ = ["RssiModel", "reading_to_dbm", "dbm_to_reading"]
+
+#: Register value bounds (signed byte, further limited by the detector's
+#: useful dynamic range per the datasheet).
+_MIN_READING = -128
+_MAX_READING = 127
+
+
+def dbm_to_reading(power_dbm: float) -> int:
+    """Exact register value for an RF input power (no measurement noise)."""
+    return int(np.clip(round(power_dbm - RSSI_OFFSET_DBM),
+                       _MIN_READING, _MAX_READING))
+
+
+def reading_to_dbm(reading: int) -> float:
+    """RF input power implied by a register reading."""
+    return float(reading) + RSSI_OFFSET_DBM
+
+
+class RssiModel:
+    """Produces noisy, quantised RSSI register readings.
+
+    The eight-symbol average leaves ~1 dB of measurement noise on real
+    hardware; we model it as a Gaussian draw before quantisation.
+    """
+
+    def __init__(self, rng: RngRegistry, noise_sigma_db: float = 1.0):
+        if noise_sigma_db < 0:
+            raise ValueError("noise sigma must be non-negative")
+        self.noise_sigma_db = float(noise_sigma_db)
+        self._rng = rng.stream("radio.rssi")
+
+    def reading(self, received_power_dbm: float) -> int:
+        """One measured register value for a frame at this input power."""
+        noisy = received_power_dbm
+        if self.noise_sigma_db > 0:
+            noisy += float(self._rng.normal(0.0, self.noise_sigma_db))
+        return dbm_to_reading(noisy)

@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate.
+
+The engine is a minimal generator-coroutine kernel (in the style of
+SimPy): an :class:`Environment` owns the clock and event heap, processes
+are generators that ``yield`` events, and conditions (:class:`AnyOf` /
+:class:`AllOf`) compose waits.  :class:`RngRegistry` provides named seeded
+random streams and :class:`Monitor` collects the observables the paper's
+evaluation reports.
+"""
+
+from repro.sim.engine import Environment, Infinity
+from repro.sim.events import AllOf, AnyOf, Condition, Event, Timeout
+from repro.sim.monitor import Monitor, PacketRecord, Sample
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry, stable_hash
+
+__all__ = [
+    "Environment",
+    "Infinity",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Process",
+    "Monitor",
+    "Sample",
+    "PacketRecord",
+    "RngRegistry",
+    "stable_hash",
+]

@@ -1,0 +1,139 @@
+"""The discrete-event scheduler.
+
+:class:`Environment` owns the simulated clock and the event heap.  It is
+deliberately small: deterministic ordering, a handful of factory helpers,
+and strict failure propagation (an event that fails with nobody listening
+crashes ``run`` — silent losses hide protocol bugs).
+
+Determinism: events at equal timestamps order by (priority, insertion
+sequence), so two runs of the same seeded scenario produce identical
+traces.  This property is load-bearing for the benchmark suite, which
+regenerates the paper's figures bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.sim.events import NORMAL, AllOf, AnyOf, Condition, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+__all__ = ["Environment", "Infinity"]
+
+#: Sentinel horizon for "run until the heap drains".
+Infinity = float("inf")
+
+
+class Environment:
+    """A single simulated world: clock + event heap + factories."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Process | None = None
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Insert a triggered event into the heap ``delay`` seconds ahead."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Timestamp of the next event, or ``Infinity`` if none pending."""
+        return self._heap[0][0] if self._heap else Infinity
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _eid, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+        if not event._ok and not event.defused:
+            # A failure nobody absorbed: surface it loudly.
+            raise event._exc  # type: ignore[misc]
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run the simulation.
+
+        * ``until=None`` — run until the heap drains.
+        * ``until=<number>`` — run until simulated time reaches it (the
+          clock lands exactly on ``until`` even if the heap drains early).
+        * ``until=<Event>`` — run until that event processes and return its
+          value; raise :class:`SimulationError` if the heap drains first.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            if target.processed:
+                return target.value
+            done: list[Event] = []
+            target.add_callback(done.append)
+            while self._heap and not done:
+                self.step()
+            if not done:
+                raise SimulationError(
+                    f"schedule drained before {target!r} triggered"
+                )
+            return target.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"run(until={horizon}) is in the past (now={self._now})"
+            )
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self) -> Event:
+        """A bare, untriggered event (trigger with ``succeed``/``fail``)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: str | None = None) -> Process:
+        """Launch ``generator`` as a simulated process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: _t.Sequence[Event]) -> Condition:
+        """Condition that succeeds when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: _t.Sequence[Event]) -> Condition:
+        """Condition that succeeds when all of ``events`` succeed."""
+        return AllOf(self, events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Environment t={self._now:.6f}s pending={len(self._heap)}>"

@@ -1,0 +1,117 @@
+"""Counters, time series and packet traces.
+
+The evaluation section of the paper reports three kinds of observables:
+delays (Fig. 5), per-hop link-quality readings (Fig. 6) and control-packet
+counts (Fig. 7).  :class:`Monitor` is the single collection point for all
+of them: subsystems increment named counters and append to named series,
+and the analysis layer reads them back without reaching into protocol
+internals.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Monitor", "Sample", "PacketRecord"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One time-stamped observation in a named series."""
+
+    time: float
+    value: float
+    tags: tuple[tuple[str, object], ...] = ()
+
+    def tag(self, key: str) -> object:
+        """Look up a tag by key (None if absent)."""
+        for k, v in self.tags:
+            if k == key:
+                return v
+        return None
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One radio transmission, as logged by the medium.
+
+    ``kind`` distinguishes traffic classes so the overhead bench can count
+    only *control* packets the way the paper does.
+    """
+
+    time: float
+    sender: int
+    receiver: int | None  # None for broadcast
+    kind: str
+    port: int | None
+    size_bytes: int
+    delivered: bool
+
+
+class Monitor:
+    """Aggregates counters, series and packet logs for one simulation."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = defaultdict(int)
+        self._series: dict[str, list[Sample]] = defaultdict(list)
+        self.packets: list[PacketRecord] = []
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    # -- series ----------------------------------------------------------------
+
+    def record(self, name: str, time: float, value: float,
+               **tags: object) -> None:
+        """Append a sample to series ``name``."""
+        self._series[name].append(
+            Sample(time=time, value=value, tags=tuple(sorted(tags.items())))
+        )
+
+    def series(self, name: str) -> list[Sample]:
+        """All samples recorded under ``name`` (empty list if none)."""
+        return list(self._series.get(name, ()))
+
+    def series_values(self, name: str) -> list[float]:
+        """Just the values of series ``name``, in record order."""
+        return [s.value for s in self._series.get(name, ())]
+
+    def series_names(self) -> list[str]:
+        """Names of series that hold at least one sample."""
+        return sorted(k for k, v in self._series.items() if v)
+
+    # -- packets ---------------------------------------------------------------
+
+    def log_packet(self, record: PacketRecord) -> None:
+        """Append a transmission record (called by the radio medium)."""
+        self.packets.append(record)
+
+    def packet_count(self, kind: str | None = None,
+                     predicate: _t.Callable[[PacketRecord], bool] | None = None,
+                     ) -> int:
+        """Count logged transmissions, optionally filtered.
+
+        ``kind`` filters on the record's traffic class; ``predicate`` is an
+        arbitrary extra filter applied after the kind match.
+        """
+        records: _t.Iterable[PacketRecord] = self.packets
+        if kind is not None:
+            records = (r for r in records if r.kind == kind)
+        if predicate is not None:
+            records = (r for r in records if predicate(r))
+        return sum(1 for _ in records)
+
+    def reset(self) -> None:
+        """Clear all collected data (counters, series and packet log)."""
+        self.counters.clear()
+        self._series.clear()
+        self.packets.clear()

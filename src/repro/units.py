@@ -1,0 +1,81 @@
+"""Physical units, time constants and radio arithmetic helpers.
+
+All simulated time inside :mod:`repro.sim` is expressed in *float seconds*.
+User-facing results follow the paper and report milliseconds.  This module
+centralises the conversion constants and the dBm/mW helpers used by the
+PHY model so no magic numbers leak into the rest of the code base.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "US",
+    "MS",
+    "SECOND",
+    "SYMBOL_TIME",
+    "BYTE_AIRTIME",
+    "BITRATE_BPS",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "dbm_sum",
+    "ms",
+    "us",
+    "to_ms",
+]
+
+#: One microsecond, in seconds.
+US = 1e-6
+#: One millisecond, in seconds.
+MS = 1e-3
+#: One second, in seconds (for symmetry / readability).
+SECOND = 1.0
+
+#: 802.15.4 2.4 GHz O-QPSK symbol period: 16 us (62.5 ksym/s, 4 bits/symbol).
+SYMBOL_TIME = 16 * US
+#: Airtime of one byte at the 250 kbps 802.15.4 data rate: 32 us.
+BYTE_AIRTIME = 32 * US
+#: Raw PHY bit rate.
+BITRATE_BPS = 250_000
+
+_MIN_MW = 1e-30  # floor to keep log10 well-defined
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power in milliwatts to dBm.
+
+    Powers at or below zero are clamped to a tiny positive floor so the
+    logarithm stays defined; this models "no measurable energy".
+    """
+    return 10.0 * math.log10(max(mw, _MIN_MW))
+
+
+def dbm_sum(*levels_dbm: float) -> float:
+    """Sum several powers expressed in dBm (adding them in linear space).
+
+    Used to accumulate interference power from concurrent transmitters.
+    Returns the floor value when called with no arguments.
+    """
+    total_mw = sum(dbm_to_mw(p) for p in levels_dbm)
+    return mw_to_dbm(total_mw)
+
+
+def ms(value: float) -> float:
+    """Express ``value`` milliseconds in engine seconds."""
+    return value * MS
+
+
+def us(value: float) -> float:
+    """Express ``value`` microseconds in engine seconds."""
+    return value * US
+
+
+def to_ms(seconds: float) -> float:
+    """Convert engine seconds to milliseconds (for user-facing reports)."""
+    return seconds / MS

@@ -1,0 +1,35 @@
+"""Workloads: topology generators, canned scenarios, background traffic."""
+
+from repro.workloads.scenarios import (
+    corridor_chain,
+    QUIET_PROPAGATION,
+    eight_hop_chain,
+    thirty_node_field,
+)
+from repro.workloads.topologies import (
+    build_chain,
+    build_grid,
+    build_random_field,
+    chain_positions,
+    grid_positions,
+    ip_names,
+    random_disk_positions,
+)
+from repro.workloads.traffic import APP_SINK_PORT, Flow, TrafficGenerator
+
+__all__ = [
+    "chain_positions",
+    "grid_positions",
+    "random_disk_positions",
+    "ip_names",
+    "build_chain",
+    "build_grid",
+    "build_random_field",
+    "eight_hop_chain",
+    "thirty_node_field",
+    "corridor_chain",
+    "QUIET_PROPAGATION",
+    "Flow",
+    "TrafficGenerator",
+    "APP_SINK_PORT",
+]

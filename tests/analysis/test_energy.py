@@ -1,0 +1,68 @@
+"""Unit tests for energy accounting."""
+
+import pytest
+
+from repro.analysis import energy_report, tx_current_ma
+from repro.sim.monitor import PacketRecord
+from repro.units import BYTE_AIRTIME
+
+
+def record(sender=1, kind="data", size=100, time=0.0):
+    return PacketRecord(time=time, sender=sender, receiver=2, kind=kind,
+                        port=None, size_bytes=size, delivered=True)
+
+
+def test_tx_current_datasheet_points():
+    assert tx_current_ma(31) == 17.4
+    assert tx_current_ma(3) == 8.5
+    assert tx_current_ma(11) == 11.2
+
+
+def test_tx_current_monotone():
+    values = [tx_current_ma(l) for l in range(3, 32)]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+def test_tx_current_validation():
+    with pytest.raises(ValueError):
+        tx_current_ma(40)
+
+
+def test_airtime_accounting():
+    report = energy_report([record(size=100), record(size=50)])
+    assert report.total_airtime == pytest.approx(150 * BYTE_AIRTIME)
+    assert report.airtime_by_node[1] == report.total_airtime
+
+
+def test_energy_scales_with_current():
+    full = energy_report([record()], power_levels={1: 31})
+    low = energy_report([record()], power_levels={1: 3})
+    assert full.total_energy_mj > low.total_energy_mj
+    assert full.total_energy_mj / low.total_energy_mj == pytest.approx(
+        17.4 / 8.5
+    )
+
+
+def test_kind_fraction():
+    report = energy_report([
+        record(kind="beacon", size=60),
+        record(kind="ping", size=30),
+        record(kind="ping", size=30),
+    ])
+    assert report.kind_fraction("beacon") == pytest.approx(0.5)
+    assert report.kind_fraction("ping") == pytest.approx(0.5)
+    assert report.kind_fraction("absent") == 0.0
+
+
+def test_empty_report():
+    report = energy_report([])
+    assert report.total_airtime == 0.0
+    assert report.kind_fraction("x") == 0.0
+
+
+def test_per_node_split():
+    report = energy_report([record(sender=1), record(sender=2),
+                            record(sender=2)])
+    assert report.airtime_by_node[2] == pytest.approx(
+        2 * report.airtime_by_node[1]
+    )

@@ -1,0 +1,21 @@
+"""Fixtures for core-layer tests: deployed LiteView testbeds."""
+
+import pytest
+
+from repro.core.deploy import deploy_liteview
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+@pytest.fixture
+def chain_deployment():
+    """Factory: an n-node chain with LiteView fully deployed."""
+
+    def build(n_nodes=4, *, seed=2, spacing=60.0, warm_up=15.0, **kwargs):
+        testbed = build_chain(
+            n_nodes, spacing=spacing, seed=seed,
+            propagation_kwargs=QUIET_PROPAGATION,
+        )
+        return deploy_liteview(testbed, warm_up=warm_up, **kwargs)
+
+    return build

@@ -1,0 +1,121 @@
+"""Tests for the diagnosis workflows (E7: broken/asymmetric links,
+hotspots)."""
+
+import pytest
+
+from repro.core.deploy import deploy_liteview
+from repro.core.diagnosis import (
+    Hotspot,
+    LinkClass,
+    LinkReport,
+    classify_link,
+    classify_links,
+    find_hotspots,
+    probe_path,
+    survey_link,
+    survey_links,
+)
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+def make_deployment(n=3, seed=2, **kw):
+    testbed = build_chain(n, spacing=60.0, seed=seed,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    return deploy_liteview(testbed, warm_up=15.0, **kw)
+
+
+def report(**kw):
+    defaults = dict(src=1, dst=2, sent=10, received=10, mean_rtt_ms=5.0,
+                    lqi_forward=105.0, lqi_backward=104.0,
+                    rssi_forward=-50.0, rssi_backward=-49.0)
+    defaults.update(kw)
+    return LinkReport(**defaults)
+
+
+class TestClassification:
+    def test_healthy(self):
+        assert classify_link(report()) == LinkClass.HEALTHY
+
+    def test_broken(self):
+        r = report(received=0, mean_rtt_ms=None, lqi_forward=None,
+                   lqi_backward=None, rssi_forward=None,
+                   rssi_backward=None)
+        assert classify_link(r) == LinkClass.BROKEN
+
+    def test_asymmetric_by_lqi(self):
+        r = report(lqi_forward=105.0, lqi_backward=80.0)
+        assert classify_link(r) == LinkClass.ASYMMETRIC
+
+    def test_asymmetric_by_rssi(self):
+        r = report(rssi_forward=-40.0, rssi_backward=-60.0)
+        assert classify_link(r) == LinkClass.ASYMMETRIC
+
+    def test_lossy(self):
+        r = report(received=6)
+        assert classify_link(r) == LinkClass.LOSSY
+
+    def test_groups_cover_everything(self):
+        reports = [report(), report(received=0), report(received=5)]
+        groups = classify_links(reports)
+        assert sum(len(v) for v in groups.values()) == len(reports)
+
+    def test_loss_ratio(self):
+        assert report(received=7).loss_ratio == pytest.approx(0.3)
+        assert report(sent=0, received=0).loss_ratio == 1.0
+
+
+class TestSurvey:
+    def test_healthy_link_survey(self):
+        dep = make_deployment(3)
+        result = survey_link(dep, 1, 2, rounds=5)
+        assert result.received >= 4
+        assert classify_link(result) == LinkClass.HEALTHY
+        assert result.lqi_forward > 90
+
+    def test_broken_link_detected(self):
+        dep = make_deployment(3)
+        # Physically break 1<->2 both ways.
+        dep.testbed.propagation.set_link_shadowing_db(1, 2, 80.0)
+        dep.testbed.propagation.set_link_shadowing_db(2, 1, 80.0)
+        result = survey_link(dep, 1, 2, rounds=5)
+        assert classify_link(result) == LinkClass.BROKEN
+
+    def test_asymmetric_link_detected(self):
+        dep = make_deployment(3)
+        # Degrade only the 2->1 direction (e.g. a weak antenna at 2):
+        # probes arrive fine, replies arrive at low LQI/RSSI.
+        dep.testbed.propagation.set_link_shadowing_db(2, 1, 5.0)
+        result = survey_link(dep, 1, 2, rounds=8)
+        assert result.received >= 1
+        label = classify_link(result)
+        assert label in (LinkClass.ASYMMETRIC, LinkClass.LOSSY)
+        assert result.lqi_backward < result.lqi_forward
+
+    def test_survey_links_walks_pairs(self):
+        dep = make_deployment(3)
+        results = survey_links(dep, [(1, 2), (2, 3)], rounds=3)
+        assert [(r.src, r.dst) for r in results] == [(1, 2), (2, 3)]
+        assert all(r.received >= 1 for r in results)
+
+
+class TestHotspots:
+    def test_probe_path_returns_result(self):
+        dep = make_deployment(4, seed=4)
+        result = probe_path(dep, 1, 4)
+        assert result is not None
+        assert result.reached_target
+
+    def test_quiet_network_has_no_strong_hotspots(self):
+        dep = make_deployment(4, seed=4)
+        hotspots = find_hotspots(dep, [(1, 4)], score_threshold=3.0)
+        assert all(h.max_queue <= 1 for h in hotspots)
+
+    def test_hotspot_dataclass_ordering(self):
+        hs = [
+            Hotspot(node_id=1, mean_hop_rtt_ms=5.0, max_queue=0,
+                    samples=3, score=1.0),
+            Hotspot(node_id=2, mean_hop_rtt_ms=50.0, max_queue=3,
+                    samples=3, score=10.0),
+        ]
+        assert max(hs, key=lambda h: h.score).node_id == 2

@@ -1,0 +1,140 @@
+"""Tests for the shell-style command interpreter."""
+
+import pytest
+
+from repro.errors import ParameterError, UnknownCommand
+
+
+def logged_in(chain_deployment, n=3, **kw):
+    dep = chain_deployment(n, **kw)
+    dep.login("192.168.0.1")
+    return dep
+
+
+def test_pwd_matches_paper_format(chain_deployment):
+    dep = logged_in(chain_deployment)
+    assert dep.run("pwd") == "/sn01/192.168.0.1"
+
+
+def test_pwd_without_context(chain_deployment):
+    dep = chain_deployment(2)
+    assert dep.interpreter.execute("pwd") == "/sn01"
+
+
+def test_pwd_is_local_no_radio(chain_deployment):
+    """Context queries are answered by the interpreter 'without the need
+    for contacting remote nodes'."""
+    dep = logged_in(chain_deployment)
+    before = dep.testbed.monitor.counter("medium.transmissions")
+    dep.run("pwd")
+    assert dep.testbed.monitor.counter("medium.transmissions") == before
+
+
+def test_cd_changes_context(chain_deployment):
+    dep = logged_in(chain_deployment)
+    dep.run("cd 192.168.0.2")
+    assert dep.run("pwd") == "/sn01/192.168.0.2"
+
+
+def test_cd_unknown_node_reports_error(chain_deployment):
+    dep = logged_in(chain_deployment)
+    assert "error" in dep.run("cd nonsuch")
+
+
+def test_ls_lists_names(chain_deployment):
+    dep = logged_in(chain_deployment)
+    listing = dep.run("ls")
+    assert "192.168.0.1" in listing and "192.168.0.2" in listing
+
+
+def test_ping_via_shell(chain_deployment):
+    dep = logged_in(chain_deployment)
+    out = dep.run("ping 192.168.0.2 round=1 length=32")
+    assert "Pinging 192.168.0.2 with 1 packets with 32 bytes:" in out
+    assert "RTT = " in out and "LQI = " in out
+    assert "Power = 31, Channel = 17" in out
+    assert "Received = 1" in out
+
+
+def test_traceroute_via_shell(chain_deployment):
+    dep = logged_in(chain_deployment, 4, seed=4)
+    out = dep.run("traceroute 192.168.0.4 round=1 length=32 port=10")
+    assert "Reaching 192.168.0.4 with 1 packets" in out
+    assert "Name of protocol: geographic forwarding" in out
+    assert "Reply from 192.168.0.2" in out
+
+
+def test_power_get_and_set(chain_deployment):
+    dep = logged_in(chain_deployment)
+    assert dep.run("power") == "Power = 31, Channel = 17"
+    assert dep.run("power 25") == "Power = 25, Channel = 17"
+    assert dep.testbed.node(1).radio.power_level == 25
+
+
+def test_channel_get(chain_deployment):
+    dep = logged_in(chain_deployment)
+    assert dep.run("channel") == "Power = 31, Channel = 17"
+
+
+def test_neighborhood_mode_workflow(chain_deployment):
+    """§IV-C.2's flow: neighborsetup → list → blacklist → update."""
+    dep = logged_in(chain_deployment)
+    # Mode commands are unavailable before entering the mode.
+    with pytest.raises(UnknownCommand):
+        dep.run("list")
+    assert "neighborhood" in dep.run("neighborsetup")
+    listing = dep.run("list")
+    assert "192.168.0.2" in listing
+    assert "blacklist add" in dep.run("blacklist add 192.168.0.2")
+    assert "BLACKLISTED" in dep.run("list")
+    dep.run("blacklist remove 192.168.0.2")
+    assert "BLACKLISTED" not in dep.run("list")
+    assert "1000 ms" in dep.run("update freq=1000")
+    dep.run("exit")
+    with pytest.raises(UnknownCommand):
+        dep.run("list")
+
+
+def test_unknown_command_raises(chain_deployment):
+    dep = logged_in(chain_deployment)
+    with pytest.raises(UnknownCommand):
+        dep.run("frobnicate")
+
+
+def test_bad_parameters_raise(chain_deployment):
+    dep = logged_in(chain_deployment)
+    with pytest.raises(ParameterError):
+        dep.run("ping 192.168.0.2 round=abc")
+    with pytest.raises(ParameterError):
+        dep.run("ping 192.168.0.2 bogus=1")
+    with pytest.raises(ParameterError):
+        dep.run("ping")
+
+
+def test_empty_line_is_noop(chain_deployment):
+    dep = logged_in(chain_deployment)
+    assert dep.interpreter.execute("") == ""
+
+
+def test_last_result_holds_structured_data(chain_deployment):
+    from repro.core.results import PingResult
+    dep = logged_in(chain_deployment)
+    dep.run("ping 192.168.0.2 round=1")
+    assert isinstance(dep.interpreter.last_result, PingResult)
+    assert dep.interpreter.last_result.target_id == 2
+
+
+def test_session_renders_prompts(chain_deployment):
+    dep = logged_in(chain_deployment)
+    text = dep.interpreter.session(["pwd"])
+    assert text.startswith("$ pwd\n/sn01/192.168.0.1")
+
+
+def test_command_on_out_of_range_node_reports_error(chain_deployment):
+    dep = logged_in(chain_deployment, 3)
+    dep.testbed.add_node("far", (9999.0, 0.0), node_id=88)
+    from repro.core.controller import install_controller
+    install_controller(dep.testbed.node(88))
+    dep.run("cd far")
+    out = dep.run("power")
+    assert out.startswith("error:")

@@ -1,0 +1,68 @@
+"""Remaining interpreter edge cases."""
+
+import pytest
+
+from repro.errors import ParameterError
+
+
+def logged_in(chain_deployment, n=3, **kw):
+    dep = chain_deployment(n, **kw)
+    dep.login("192.168.0.1")
+    return dep
+
+
+def test_group_channel_moves_nodes(chain_deployment):
+    dep = logged_in(chain_deployment, 2, spacing=30.0)
+    out = dep.run("group channel 20")
+    assert "Channel = 20" in out
+    # Every node that replied actually switched.
+    for node in dep.testbed.nodes():
+        if f"{node.name}:" in out:
+            assert node.radio.channel == 20
+
+
+def test_scan_rejects_bad_parameters_via_shell(chain_deployment):
+    dep = logged_in(chain_deployment)
+    with pytest.raises(ParameterError):
+        dep.run("scan first=abc")
+    with pytest.raises(ParameterError):
+        dep.run("scan bogus=1")
+    # Out-of-band scan range comes back as an over-the-air error reply.
+    out = dep.run("scan first=25 count=9")
+    assert out.startswith("error:")
+
+
+def test_management_commands_require_context(chain_deployment):
+    from repro.errors import CommandError
+    dep = chain_deployment(2)  # no login
+    for line in ("power", "ping 192.168.0.2", "events", "ps",
+                 "neighborsetup"):
+        with pytest.raises(CommandError):
+            dep.run(line)
+
+
+def test_attach_without_argument_uses_context(chain_deployment):
+    dep = logged_in(chain_deployment, 3)
+    dep.run("cd 192.168.0.3")
+    dep.run("attach")
+    target = dep.testbed.node(3).position
+    ws = dep.workstation.node.position
+    assert abs(ws[0] - target[0]) < 10 and abs(ws[1] - target[1]) < 10
+
+
+def test_attach_without_any_context_errors(chain_deployment):
+    dep = chain_deployment(2)
+    assert "error" in dep.interpreter.execute("attach")
+
+
+def test_help_reflects_mode(chain_deployment):
+    dep = logged_in(chain_deployment)
+    base = dep.run("help")
+    assert "blacklist" not in base
+    dep.run("neighborsetup")
+    assert "blacklist" in dep.run("help")
+
+
+def test_whitespace_only_line(chain_deployment):
+    dep = logged_in(chain_deployment)
+    assert dep.interpreter.execute("   ") == ""

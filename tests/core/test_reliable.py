@@ -1,0 +1,134 @@
+"""Tests for the reliable one-hop exchange protocol (§IV-B)."""
+
+import pytest
+
+from repro.core.reliable import CHUNK_BYTES, MAX_CHUNKS, ReliableEndpoint
+from repro.kernel import Testbed
+
+QUIET = {"shadowing_sigma_db": 0.0, "fading_sigma_db": 0.0}
+
+
+def make_pair(distance=10.0, seed=5, **prop):
+    kwargs = dict(QUIET)
+    kwargs.update(prop)
+    tb = Testbed(seed=seed, propagation_kwargs=kwargs)
+    a = tb.add_node("a", (0.0, 0.0))
+    b = tb.add_node("b", (distance, 0.0))
+    inbox_a, inbox_b = [], []
+    ep_a = ReliableEndpoint(a, lambda o, m: inbox_a.append((o, m)))
+    ep_b = ReliableEndpoint(b, lambda o, m: inbox_b.append((o, m)))
+    return tb, (a, ep_a, inbox_a), (b, ep_b, inbox_b)
+
+
+def deliver(tb, ep, dest, payload):
+    proc = tb.env.process(ep.send(dest, payload))
+    return tb.env.run(until=proc)
+
+
+def test_single_packet_message(capfd=None):
+    tb, (a, ep_a, _), (b, _, inbox_b) = make_pair()
+    assert deliver(tb, ep_a, b.id, b"hello")
+    assert inbox_b == [(a.id, b"hello")]
+
+
+def test_multi_chunk_message():
+    tb, (a, ep_a, _), (b, _, inbox_b) = make_pair()
+    payload = bytes(range(256)) * 3  # 768 B -> 14 chunks
+    assert deliver(tb, ep_a, b.id, payload)
+    assert inbox_b == [(a.id, payload)]
+
+
+def test_chunking_boundary_exact_multiple():
+    tb, (a, ep_a, _), (b, _, inbox_b) = make_pair()
+    payload = b"z" * (CHUNK_BYTES * 3)
+    assert deliver(tb, ep_a, b.id, payload)
+    assert inbox_b[0][1] == payload
+
+
+def test_bidirectional_conversation():
+    tb, (a, ep_a, inbox_a), (b, ep_b, inbox_b) = make_pair()
+    assert deliver(tb, ep_a, b.id, b"request")
+    assert deliver(tb, ep_b, a.id, b"response")
+    assert inbox_b == [(a.id, b"request")]
+    assert inbox_a == [(b.id, b"response")]
+
+
+def test_empty_message_rejected():
+    tb, (_a, ep_a, _), (b, _, _) = make_pair()
+    with pytest.raises(ValueError):
+        list(ep_a.send(b.id, b""))
+
+
+def test_oversize_message_rejected():
+    tb, (_a, ep_a, _), (b, _, _) = make_pair()
+    with pytest.raises(ValueError):
+        list(ep_a.send(b.id, b"x" * (MAX_CHUNKS * CHUNK_BYTES + 1)))
+
+
+def test_send_to_unreachable_peer_fails_cleanly():
+    tb = Testbed(seed=5, propagation_kwargs=QUIET)
+    a = tb.add_node("a", (0.0, 0.0))
+    b = tb.add_node("b", (5000.0, 0.0))  # far out of range
+    ep_a = ReliableEndpoint(a, lambda o, m: None)
+    ReliableEndpoint(b, lambda o, m: None)
+    proc = tb.env.process(ep_a.send(b.id, b"void"))
+    assert tb.env.run(until=proc) is False
+    assert tb.monitor.counter("reliable.aborts") == 1
+
+
+def test_lossy_link_still_delivers():
+    """Retransmissions must push a large message through a gray link."""
+    tb, (a, ep_a, _), (b, _, inbox_b) = make_pair(distance=93.0, seed=3)
+    payload = bytes(400)
+    assert deliver(tb, ep_a, b.id, payload)
+    assert inbox_b == [(a.id, payload)]
+    # The link was genuinely lossy: retransmissions happened.
+    assert (tb.monitor.counter("reliable.data_sent")
+            > -(-len(payload) // CHUNK_BYTES))
+
+
+def test_batch_size_shrinks_on_loss_and_grows_when_clean():
+    tb, (a, ep_a, _), (b, _, _) = make_pair(distance=92.0, seed=3)
+    start = ep_a.batch_size(b.id)
+    deliver(tb, ep_a, b.id, bytes(800))
+    lossy_batch = ep_a.batch_size(b.id)
+    # On a gray link the steady-state batch should not exceed the start.
+    assert lossy_batch <= start
+
+    tb2, (a2, ep2, _), (b2, _, _) = make_pair(distance=5.0)
+    deliver(tb2, ep2, b2.id, bytes(800))
+    assert ep2.batch_size(b2.id) > ep2.min_batch
+
+
+def test_duplicate_suppression():
+    """A retransmitted completed transfer must not deliver twice."""
+    tb, (a, ep_a, _), (b, _, inbox_b) = make_pair(distance=80.0, seed=9)
+    for i in range(5):
+        deliver(tb, ep_a, b.id, bytes([i]) * 10)
+    messages = [m for _o, m in inbox_b]
+    assert len(messages) == len(set(messages)) == 5
+
+
+def test_constructor_validation():
+    tb = Testbed(seed=1)
+    node = tb.add_node("a", (0, 0))
+    with pytest.raises(ValueError):
+        ReliableEndpoint(node, lambda o, m: None, min_batch=0)
+    with pytest.raises(ValueError):
+        ReliableEndpoint(node, lambda o, m: None, initial_batch=99)
+
+
+def test_concurrent_transfers_to_two_peers():
+    tb = Testbed(seed=5, propagation_kwargs=QUIET)
+    hub = tb.add_node("hub", (0.0, 0.0))
+    left = tb.add_node("left", (10.0, 0.0))
+    right = tb.add_node("right", (0.0, 10.0))
+    inbox_l, inbox_r = [], []
+    ep_hub = ReliableEndpoint(hub, lambda o, m: None)
+    ReliableEndpoint(left, lambda o, m: inbox_l.append(m))
+    ReliableEndpoint(right, lambda o, m: inbox_r.append(m))
+    p1 = tb.env.process(ep_hub.send(left.id, b"L" * 150))
+    p2 = tb.env.process(ep_hub.send(right.id, b"R" * 150))
+    tb.env.run(until=tb.env.all_of([p1, p2]))
+    assert inbox_l == [b"L" * 150]
+    assert inbox_r == [b"R" * 150]

@@ -1,0 +1,137 @@
+"""Unit tests for result objects and their paper-style rendering."""
+
+from repro.core.results import (
+    LinkObservation,
+    NeighborView,
+    PingResult,
+    PingRound,
+    TracerouteHop,
+    TracerouteResult,
+)
+
+LINK = LinkObservation(
+    lqi_forward=108, lqi_backward=106, rssi_forward=-1, rssi_backward=8,
+    queue_remote=0, queue_local=0,
+)
+
+
+def make_ping_result(**kw):
+    defaults = dict(
+        target_name="192.168.0.2", target_id=2, requested_rounds=1,
+        probe_length=32, power_level=31, channel=17,
+    )
+    defaults.update(kw)
+    return PingResult(**defaults)
+
+
+def test_link_observation_renders_paper_format():
+    assert LINK.render() == "LQI = 108/106, RSSI = -1/8, Queue = 0/0"
+
+
+def test_ping_render_matches_paper_sample():
+    """Reproduce the §III-B.3 sample output structure exactly."""
+    result = make_ping_result(sent=1)
+    result.rounds.append(PingRound(seq=0, rtt_ms=4.7, link=LINK))
+    text = result.render()
+    assert "Pinging 192.168.0.2 with 1 packets with 32 bytes:" in text
+    assert "RTT = 4.7 ms, LQI = 108/106, RSSI = -1/8, Queue = 0/0" in text
+    assert "Power = 31, Channel = 17" in text
+    assert "Ping statistics:" in text
+    assert "Packets = 1" in text
+    assert "Received = 1" in text
+    assert "Lost = 0" in text
+
+
+def test_ping_statistics_accounting():
+    result = make_ping_result(requested_rounds=3, sent=3)
+    result.rounds.append(PingRound(seq=0, rtt_ms=5.0, link=LINK))
+    assert result.received == 1
+    assert result.lost == 2
+    assert result.loss_ratio == 2 / 3
+    assert result.mean_rtt_ms == 5.0
+
+
+def test_ping_empty_statistics():
+    result = make_ping_result()
+    assert result.received == 0
+    assert result.lost == 0
+    assert result.loss_ratio == 0.0
+    assert result.mean_rtt_ms is None
+
+
+def test_ping_render_includes_paths():
+    result = make_ping_result(sent=1)
+    result.rounds.append(PingRound(
+        seq=0, rtt_ms=10.0, link=LINK,
+        forward_path=((106, -48),), backward_path=((103, -50),),
+    ))
+    text = result.render()
+    assert "forward path (LQI/RSSI): 106/-48" in text
+    assert "backward path (LQI/RSSI): 103/-50" in text
+
+
+def make_trace_result():
+    return TracerouteResult(
+        target_name="192.168.0.3", target_id=3, requested_rounds=1,
+        probe_length=32, protocol_name="geographic forwarding",
+        routing_port=10,
+    )
+
+
+def test_traceroute_render_matches_paper_sample():
+    """Reproduce the §III-B.4 sample output structure."""
+    result = make_trace_result()
+    result.sent = 1
+    result.hops.append(TracerouteHop(
+        hop_index=1, probed_node_id=2, probed_node_name="192.168.0.2",
+        rtt_ms=4.9, link=LinkObservation(106, 107, 1, 2, 0, 0),
+        arrival_ms=10.0,
+    ))
+    result.hops.append(TracerouteHop(
+        hop_index=2, probed_node_id=3, probed_node_name="192.168.0.3",
+        rtt_ms=4.7, link=LinkObservation(105, 103, -1, 0, 0, 0),
+        arrival_ms=25.0,
+    ))
+    text = result.render()
+    assert "Reaching 192.168.0.3 with 1 packets with 32 bytes:" in text
+    assert "Name of protocol: geographic forwarding" in text
+    assert "Reply from 192.168.0.2" in text
+    assert "RTT = 4.9 ms, LQI = 106/107, RSSI = 1/2, Queue = 0/0" in text
+    assert "Reply from 192.168.0.3" in text
+    assert "Traceroute statistics:" in text
+    assert "Received = 1" in text
+
+
+def test_traceroute_reached_and_hop_count():
+    result = make_trace_result()
+    result.sent = 1
+    assert not result.reached_target
+    result.hops.append(TracerouteHop(
+        hop_index=2, probed_node_id=3, probed_node_name="x",
+        rtt_ms=1.0, link=LINK, arrival_ms=5.0,
+    ))
+    assert result.reached_target
+    assert result.hop_count == 2
+    assert result.received == 1
+    assert result.lost == 0
+
+
+def test_arrival_series_sorted_by_hop():
+    result = make_trace_result()
+    for hop, arrival in ((3, 30.0), (1, 10.0), (2, 20.0)):
+        result.hops.append(TracerouteHop(
+            hop_index=hop, probed_node_id=hop + 1, probed_node_name="x",
+            rtt_ms=1.0, link=LINK, arrival_ms=arrival,
+        ))
+    assert result.arrival_series_ms() == [(1, 10.0), (2, 20.0), (3, 30.0)]
+
+
+def test_neighbor_view_render():
+    view = NeighborView(node_id=2, lqi=107, rssi=-48, prr_percent=98,
+                        enabled=True)
+    text = view.render("192.168.0.2")
+    assert "192.168.0.2" in text and "LQI = 107" in text
+    assert "enabled" in text
+    blacklisted = NeighborView(node_id=2, lqi=10, rssi=-90, prr_percent=1,
+                               enabled=False)
+    assert "BLACKLISTED" in blacklisted.render()

@@ -1,0 +1,84 @@
+"""E1/E2: reproduce the paper's sample shell sessions structurally.
+
+The absolute RTT/LQI/RSSI numbers depend on the testbed geometry (which
+the paper does not give), but every *field* of the §III-B.3 ping output
+and §III-B.4 traceroute output must appear, with plausible values in the
+right ranges, under the same commands the paper types.
+"""
+
+import re
+
+import pytest
+
+from repro.core.deploy import deploy_liteview
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+@pytest.fixture(scope="module")
+def paper_session():
+    testbed = build_chain(4, spacing=60.0, seed=2,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    dep.login("192.168.0.1")
+    return dep
+
+
+def test_pwd_sample(paper_session):
+    assert paper_session.run("pwd") == "/sn01/192.168.0.1"
+
+
+def test_ping_sample_output_fields(paper_session):
+    out = paper_session.run("ping 192.168.0.2 round=1 length=32")
+    assert out.splitlines()[0] == (
+        "Pinging 192.168.0.2 with 1 packets with 32 bytes:"
+    )
+    match = re.search(
+        r"RTT = (\d+\.\d) ms, LQI = (\d+)/(\d+), "
+        r"RSSI = (-?\d+)/(-?\d+), Queue = (\d+)/(\d+)", out,
+    )
+    assert match, out
+    rtt = float(match.group(1))
+    lqi_f, lqi_b = int(match.group(2)), int(match.group(3))
+    rssi_f, rssi_b = int(match.group(4)), int(match.group(5))
+    # Plausibility windows around the paper's values (RTT = 4.7 ms,
+    # LQI = 108/106, RSSI register readings, empty queues).
+    assert 1.0 <= rtt <= 20.0
+    assert 50 <= lqi_f <= 110 and 50 <= lqi_b <= 110
+    assert -90 <= rssi_f <= 10 and -90 <= rssi_b <= 10
+    assert "Power = 31, Channel = 17" in out
+    assert "Ping statistics:" in out
+    assert "Packets = 1" in out
+    assert "Received = 1" in out
+    assert "Lost = 0" in out
+
+
+def test_traceroute_sample_output_fields(paper_session):
+    out = paper_session.run(
+        "traceroute 192.168.0.3 round=1 length=32 port=10"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Reaching 192.168.0.3 with 1 packets with 32 bytes:"
+    assert lines[1] == "Name of protocol: geographic forwarding"
+    assert "Reply from 192.168.0.2" in out
+    assert "Reply from 192.168.0.3" in out
+    # Per-hop lines carry the full observable tuple.
+    hop_lines = [l for l in lines if l.startswith("RTT = ")]
+    assert len(hop_lines) == 2
+    for line in hop_lines:
+        assert re.match(
+            r"RTT = \d+\.\d ms, LQI = \d+/\d+, "
+            r"RSSI = -?\d+/-?\d+, Queue = \d+/\d+", line,
+        )
+    assert "Traceroute statistics:" in out
+    assert "Packets = 1" in out
+    assert "Received = 1" in out
+    assert "Lost = 0" in out
+
+
+def test_full_session_renders_like_the_paper(paper_session):
+    text = paper_session.interpreter.session([
+        "pwd",
+        "ping 192.168.0.2 round=1 length=32",
+    ])
+    assert text.startswith("$ pwd\n/sn01/192.168.0.1\n$ ping")

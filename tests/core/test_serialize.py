@@ -1,0 +1,162 @@
+"""Property tests for result serialisation (controller replies)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.results import (
+    LinkObservation,
+    NeighborView,
+    PingResult,
+    PingRound,
+    TracerouteHop,
+    TracerouteResult,
+)
+from repro.core.serialize import (
+    decode_neighbor_views,
+    decode_ping_result,
+    decode_trace_result,
+    encode_neighbor_views,
+    encode_ping_result,
+    encode_trace_result,
+)
+from repro.errors import HeaderError
+
+links = st.builds(
+    LinkObservation,
+    lqi_forward=st.integers(0, 255), lqi_backward=st.integers(0, 255),
+    rssi_forward=st.integers(-128, 127), rssi_backward=st.integers(-128, 127),
+    queue_remote=st.integers(0, 255), queue_local=st.integers(0, 255),
+)
+
+paths = st.lists(
+    st.tuples(st.integers(0, 255), st.integers(-128, 127)), max_size=6
+).map(tuple)
+
+ping_rounds = st.builds(
+    PingRound,
+    seq=st.integers(0, 255),
+    rtt_ms=st.floats(0.0, 10_000.0),
+    link=links,
+    forward_path=paths,
+    backward_path=paths,
+)
+
+ping_results = st.builds(
+    PingResult,
+    target_name=st.just("x"),
+    target_id=st.integers(0, 0xFFFF),
+    requested_rounds=st.integers(1, 255),
+    probe_length=st.integers(0, 64),
+    power_level=st.integers(0, 31),
+    channel=st.integers(11, 26),
+    rounds=st.lists(ping_rounds, max_size=5),
+    sent=st.integers(0, 255),
+)
+
+
+@given(ping_results)
+def test_ping_result_roundtrip(result):
+    decoded = decode_ping_result(encode_ping_result(result))
+    assert decoded.target_id == result.target_id
+    assert decoded.requested_rounds == result.requested_rounds
+    assert decoded.probe_length == result.probe_length
+    assert decoded.power_level == result.power_level
+    assert decoded.channel == result.channel
+    assert decoded.sent == result.sent
+    assert len(decoded.rounds) == len(result.rounds)
+    for got, want in zip(decoded.rounds, result.rounds):
+        assert got.seq == want.seq
+        assert got.rtt_ms == pytest.approx(want.rtt_ms, abs=0.001)
+        assert got.link == want.link
+        assert got.forward_path == want.forward_path
+        assert got.backward_path == want.backward_path
+
+
+trace_hops = st.builds(
+    TracerouteHop,
+    hop_index=st.integers(0, 255),
+    probed_node_id=st.integers(0, 0xFFFF),
+    probed_node_name=st.just("x"),
+    rtt_ms=st.floats(0.0, 10_000.0),
+    link=links,
+    arrival_ms=st.floats(0.0, 100_000.0),
+)
+
+trace_results = st.builds(
+    TracerouteResult,
+    target_name=st.just("x"),
+    target_id=st.integers(0, 0xFFFF),
+    requested_rounds=st.integers(1, 255),
+    probe_length=st.integers(0, 64),
+    protocol_name=st.text(min_size=0, max_size=20),
+    routing_port=st.integers(0, 255),
+    hops=st.lists(trace_hops, max_size=5),
+    sent=st.integers(0, 255),
+)
+
+
+@given(trace_results)
+def test_trace_result_roundtrip(result):
+    decoded = decode_trace_result(encode_trace_result(result))
+    assert decoded.target_id == result.target_id
+    assert decoded.routing_port == result.routing_port
+    # The name may be truncated to <=32 UTF-8 bytes on the wire.
+    assert result.protocol_name.startswith(decoded.protocol_name)
+    assert len(decoded.protocol_name.encode("utf-8")) <= 32
+    assert decoded.sent == result.sent
+    assert len(decoded.hops) == len(result.hops)
+    for got, want in zip(decoded.hops, result.hops):
+        assert got.hop_index == want.hop_index
+        assert got.probed_node_id == want.probed_node_id
+        assert got.rtt_ms == pytest.approx(want.rtt_ms, abs=0.001)
+        assert got.arrival_ms == pytest.approx(want.arrival_ms, abs=0.001)
+        assert got.link == want.link
+
+
+neighbor_views = st.lists(
+    st.builds(
+        NeighborView,
+        node_id=st.integers(0, 0xFFFF),
+        lqi=st.integers(0, 255),
+        rssi=st.integers(-128, 127),
+        prr_percent=st.integers(0, 100),
+        enabled=st.booleans(),
+    ),
+    max_size=16,
+)
+
+
+@given(neighbor_views)
+def test_neighbor_views_roundtrip(views):
+    assert decode_neighbor_views(encode_neighbor_views(views)) == views
+
+
+def test_decode_rejects_truncation():
+    result = PingResult(
+        target_name="x", target_id=1, requested_rounds=1, probe_length=32,
+        power_level=31, channel=17, sent=1,
+    )
+    result.rounds.append(PingRound(
+        seq=0, rtt_ms=1.0,
+        link=LinkObservation(1, 2, 3, 4, 5, 6),
+    ))
+    wire = encode_ping_result(result)
+    with pytest.raises(HeaderError):
+        decode_ping_result(wire[:-3])
+    with pytest.raises(HeaderError):
+        decode_trace_result(b"\x00")
+    with pytest.raises(HeaderError):
+        decode_neighbor_views(b"")
+
+
+def test_names_resolved_through_namespace():
+    from repro.kernel import Namespace
+    ns = Namespace()
+    ns.register(7, "192.168.0.7")
+    result = PingResult(
+        target_name="?", target_id=7, requested_rounds=1, probe_length=32,
+        power_level=31, channel=17, sent=0,
+    )
+    decoded = decode_ping_result(encode_ping_result(result), ns)
+    assert decoded.target_name == "192.168.0.7"

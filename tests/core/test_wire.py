@@ -1,0 +1,110 @@
+"""Unit and property tests for LiteView wire formats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.wire import (
+    MsgType,
+    PingProbe,
+    PingReply,
+    TraceProbe,
+    TraceReply,
+    TraceReport,
+    pack_signed,
+    unpack_signed,
+)
+from repro.errors import HeaderError
+
+
+@given(st.integers(-128, 127))
+def test_signed_byte_roundtrip(v):
+    assert unpack_signed(pack_signed(v)) == v
+
+
+def test_signed_byte_clamps():
+    assert unpack_signed(pack_signed(300)) == 127
+    assert unpack_signed(pack_signed(-300)) == -128
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, 64), st.integers(0, 255))
+def test_ping_probe_roundtrip(token, length, port):
+    probe = PingProbe(token=token, length=length, routing_port=port)
+    parsed = PingProbe.from_bytes(probe.to_bytes())
+    assert parsed == probe
+
+
+def test_ping_probe_respects_requested_length():
+    probe = PingProbe(token=1, length=32)
+    assert len(probe.to_bytes()) == 32
+
+
+def test_ping_probe_minimum_length_is_header():
+    probe = PingProbe(token=1, length=0)
+    assert len(probe.to_bytes()) == 5
+
+
+@given(
+    st.integers(0, 0xFFFF), st.integers(0, 255), st.integers(-128, 127),
+    st.integers(0, 255),
+    st.lists(st.tuples(st.integers(0, 255), st.integers(-128, 127)),
+             max_size=8),
+)
+def test_ping_reply_roundtrip(token, lqi, rssi, queue, hops):
+    reply = PingReply(token=token, lqi=lqi, rssi=rssi, queue=queue,
+                      forward_hops=tuple(hops))
+    parsed = PingReply.from_bytes(reply.to_bytes())
+    assert parsed == reply
+
+
+def test_ping_reply_truncated_hops_rejected():
+    reply = PingReply(token=1, lqi=100, rssi=-10, queue=0,
+                      forward_hops=((100, -10),))
+    with pytest.raises(HeaderError):
+        PingReply.from_bytes(reply.to_bytes()[:-1])
+
+
+@given(
+    st.integers(0, 0xFFFF), st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+    st.integers(0, 255), st.integers(0, 255), st.integers(0, 64),
+)
+def test_trace_probe_roundtrip(session, origin, dest, hop, port, length):
+    probe = TraceProbe(session=session, origin=origin, final_dest=dest,
+                       hop_index=hop, routing_port=port, length=length)
+    assert TraceProbe.from_bytes(probe.to_bytes()) == probe
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, 255), st.integers(-128, 127),
+       st.integers(0, 255))
+def test_trace_reply_roundtrip(session, lqi, rssi, queue):
+    reply = TraceReply(session=session, lqi=lqi, rssi=rssi, queue=queue)
+    assert TraceReply.from_bytes(reply.to_bytes()) == reply
+
+
+@given(
+    st.integers(0, 0xFFFF), st.integers(0, 0xFFFF), st.integers(0, 255),
+    st.integers(0, 2 ** 32 - 1), st.integers(0, 255), st.integers(0, 255),
+    st.integers(-128, 127), st.integers(-128, 127),
+    st.integers(0, 255), st.integers(0, 255),
+)
+def test_trace_report_roundtrip(session, probed, hop, rtt, lqi_f, lqi_b,
+                                rssi_f, rssi_b, q_r, q_l):
+    report = TraceReport(
+        session=session, probed_node=probed, hop_index=hop, rtt_us=rtt,
+        lqi_forward=lqi_f, lqi_backward=lqi_b,
+        rssi_forward=rssi_f, rssi_backward=rssi_b,
+        queue_remote=q_r, queue_local=q_l,
+    )
+    assert TraceReport.from_bytes(report.to_bytes()) == report
+
+
+def test_wrong_type_byte_rejected():
+    data = bytearray(PingProbe(token=1, length=10).to_bytes())
+    data[0] = MsgType.PING_REPLY
+    with pytest.raises(HeaderError):
+        PingProbe.from_bytes(bytes(data))
+
+
+def test_message_types_unique():
+    values = [v for k, v in vars(MsgType).items() if not k.startswith("_")]
+    assert len(set(values)) == len(values)

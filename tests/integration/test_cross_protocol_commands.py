@@ -1,0 +1,64 @@
+"""Protocol independence through the shell: the same commands over
+different routing protocols, selected only by ``port=``."""
+
+import pytest
+
+from repro.core.deploy import deploy_liteview
+from repro.net import (
+    TREE_PORT,
+    DsdvRouting,
+    GeographicForwarding,
+    TreeRouting,
+    WellKnownPorts,
+)
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    testbed = build_chain(4, spacing=60.0, seed=4,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    for node in testbed.nodes():
+        node.install_protocol(GeographicForwarding)
+        node.install_protocol(DsdvRouting)
+        node.install_protocol(TreeRouting, root=4)
+    dep = deploy_liteview(testbed, protocol=None, warm_up=40.0)
+    dep.login("192.168.0.1")
+    return dep
+
+
+def test_traceroute_over_dsdv(deployment):
+    out = deployment.run("traceroute 192.168.0.4 round=1 port=11")
+    result = deployment.interpreter.last_result
+    assert result.reached_target
+    assert "Name of protocol: dsdv" in out
+    assert result.hop_count == 3
+
+
+def test_traceroute_over_geographic(deployment):
+    deployment.run("traceroute 192.168.0.4 round=1 port=10")
+    assert deployment.interpreter.last_result.reached_target
+
+
+def test_ping_over_dsdv(deployment):
+    deployment.run("ping 192.168.0.4 round=2 length=16 port=11")
+    assert deployment.interpreter.last_result.received >= 1
+
+
+def test_traceroute_toward_tree_root(deployment):
+    """Traceroute over the collection tree: probes find the path toward
+    the root hop by hop; reports toward the source are unroutable
+    (trees have no downward routes), so only the local first hop comes
+    back — the protocol's structure, made visible by the tool."""
+    deployment.run(f"traceroute 192.168.0.4 round=1 port={TREE_PORT}")
+    result = deployment.interpreter.last_result
+    hops = {h.hop_index for h in result.hops}
+    assert hops == {1}  # only the source's own hop report is local
+    assert not result.reached_target
+
+
+def test_unknown_port_is_reported(deployment):
+    out = deployment.run("ping 192.168.0.4 round=1 port=99")
+    assert out.startswith("error:")
+    assert "99" in out

@@ -1,0 +1,124 @@
+"""End-to-end scenarios exercising the full toolkit path."""
+
+import pytest
+
+from repro.core.deploy import deploy_liteview
+from repro.workloads import build_chain, eight_hop_chain, thirty_node_field
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+def test_power_adjustment_changes_reported_rssi():
+    """The Figure 6 mechanism: lowering TX power lowers the RSSI the
+    peer reports, by roughly the PA-table difference."""
+    from repro.radio import power_level_to_dbm
+
+    testbed = build_chain(2, spacing=25.0, seed=2,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    dep.login("192.168.0.1")
+
+    def forward_rssi():
+        dep.run("ping 192.168.0.2 round=5 length=32")
+        result = dep.interpreter.last_result
+        assert result.received >= 3
+        return sum(r.link.lqi_forward * 0 + r.link.rssi_forward
+                   for r in result.rounds) / result.received
+
+    high = forward_rssi()
+    dep.run("power 10")
+    low = forward_rssi()
+    expected_drop = power_level_to_dbm(31) - power_level_to_dbm(10)
+    assert high - low == pytest.approx(expected_drop, abs=2.5)
+
+
+def test_channel_change_isolates_node():
+    """A node moved to another channel stops answering pings from the
+    old channel — and comes back when the prober follows."""
+    testbed = build_chain(2, spacing=25.0, seed=2,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    node2 = testbed.node(2)
+    node2.radio.set_channel(26)
+    dep.login("192.168.0.1")
+    dep.run("ping 192.168.0.2 round=2")
+    assert dep.interpreter.last_result.received == 0
+    node2.radio.set_channel(17)
+    dep.run("ping 192.168.0.2 round=2")
+    assert dep.interpreter.last_result.received >= 1
+
+
+def test_blacklist_forces_detour():
+    """Blacklisting the direct next hop makes traceroute show a longer
+    path (deployment-phase rerouting the paper motivates)."""
+    # Triangle: 1 and 3 are 70 m apart (direct, above the quality
+    # filter), 2 sits between them slightly off-axis.
+    from repro.kernel import Testbed
+    from repro.core.deploy import deploy_liteview as deploy
+
+    tb = Testbed(seed=5, propagation_kwargs=QUIET_PROPAGATION)
+    tb.add_node("192.168.0.1", (0.0, 0.0))
+    tb.add_node("192.168.0.2", (35.0, 12.0))
+    tb.add_node("192.168.0.3", (70.0, 0.0))
+    dep = deploy(tb, warm_up=15.0)
+    dep.login("192.168.0.1")
+
+    dep.run("traceroute 192.168.0.3 port=10")
+    direct = dep.interpreter.last_result
+    assert direct.reached_target
+    assert direct.hop_count == 1  # 70 m is a usable direct link
+
+    tb.node(1).neighbors.blacklist(3)
+    dep.run("traceroute 192.168.0.3 port=10")
+    detour = dep.interpreter.last_result
+    assert detour.reached_target
+    assert detour.hop_count == 2  # now via node 2
+
+
+def test_thirty_node_field_management_walk():
+    """Manage several nodes of the 30-node testbed in one session."""
+    testbed = thirty_node_field(seed=3)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    managed = 0
+    for name in ["192.168.0.1", "192.168.0.15", "192.168.0.30"]:
+        dep.login(name)
+        out = dep.run("power")
+        assert out == "Power = 31, Channel = 17"
+        dep.run("neighborsetup")
+        listing = dep.run("list")
+        assert "LQI" in listing
+        dep.run("exit")
+        managed += 1
+    assert managed == 3
+
+
+def test_eight_hop_traceroute_through_shell():
+    testbed = eight_hop_chain(seed=4)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    dep.login("192.168.0.1")
+    out = dep.run("traceroute 192.168.0.9 round=1 length=32 port=10")
+    result = dep.interpreter.last_result
+    assert result.reached_target
+    assert result.hop_count == 8
+    assert "Reply from 192.168.0.9" in out
+
+
+def test_zero_overhead_when_inactive():
+    """Design goal 'Efficiency': installed-but-idle LiteView sends no
+    packets beyond the kernel's own beacons."""
+    testbed = build_chain(3, seed=2, propagation_kwargs=QUIET_PROPAGATION)
+    deploy_liteview(testbed, warm_up=30.0)
+    kinds = {r.kind for r in testbed.monitor.packets}
+    assert kinds <= {"beacon"}
+
+
+def test_deterministic_replay():
+    """Identical seeds reproduce identical shell outputs bit-for-bit."""
+
+    def run_once():
+        testbed = build_chain(3, seed=11,
+                              propagation_kwargs=QUIET_PROPAGATION)
+        dep = deploy_liteview(testbed, warm_up=15.0)
+        dep.login("192.168.0.1")
+        return dep.run("ping 192.168.0.2 round=3 length=32")
+
+    assert run_once() == run_once()

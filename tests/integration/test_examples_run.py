@@ -1,0 +1,70 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example's ``main`` is imported and executed with its default seed;
+these tests pin the deliverable, not the exact output.  The figure
+reproduction example is exercised by the benchmark suite instead (it is
+the slowest by far).
+"""
+
+import importlib.util
+import io
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_main(name, capsys):
+    module = load_example(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_main("quickstart", capsys)
+    assert "/sn01/192.168.0.1" in out
+    assert "Pinging 192.168.0.2 with 1 packets with 32 bytes:" in out
+    assert "Name of protocol: geographic forwarding" in out
+    assert "beacon interval set to 1000 ms" in out
+
+
+def test_protocol_comparison(capsys):
+    out = run_main("protocol_comparison", capsys)
+    assert "geographic forwarding" in out
+    assert "dsdv" in out
+    assert "flooding" in out
+    assert "no recompilation" in out
+
+
+def test_hotspot_diagnosis(capsys):
+    out = run_main("hotspot_diagnosis", capsys)
+    assert "idle network, per-hop RTT" in out
+    assert "hotspots flagged" in out or "no hotspots" in out
+    assert "delivery ratio" in out
+
+
+@pytest.mark.slow
+def test_site_survey(capsys):
+    out = run_main("site_survey", capsys)
+    assert "broken" in out
+    assert "post-fix survey" in out
+    assert "healthy links:" in out
+
+
+def test_interactive_shell_canned_session(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "stdin", io.StringIO(""))  # not a tty
+    out = run_main("interactive_shell", capsys)
+    assert "$ pwd" in out
+    assert "/sn01/192.168.0.1" in out
+    assert "channel  peak RSSI" in out

@@ -1,0 +1,70 @@
+"""Unit tests for the kernel event log."""
+
+import pytest
+
+from repro.kernel import EventLog, Testbed
+
+
+def test_log_and_recent_order():
+    log = EventLog(capacity=8)
+    log.log(1.0, "a", "first")
+    log.log(2.0, "b", "second")
+    events = log.recent()
+    assert [e.code for e in events] == ["a", "b"]
+    assert events[0].time == 1.0
+
+
+def test_ring_wraps_and_counts_drops():
+    log = EventLog(capacity=3)
+    for i in range(5):
+        log.log(float(i), f"e{i}")
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert log.logged == 5
+    assert [e.code for e in log.recent()] == ["e2", "e3", "e4"]
+
+
+def test_recent_limit():
+    log = EventLog(capacity=8)
+    for i in range(5):
+        log.log(float(i), f"e{i}")
+    assert [e.code for e in log.recent(2)] == ["e3", "e4"]
+
+
+def test_clear_keeps_totals():
+    log = EventLog(capacity=4)
+    log.log(0.0, "x")
+    log.clear()
+    assert len(log) == 0
+    assert log.logged == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
+
+
+def test_render():
+    log = EventLog()
+    log.log(12.5, "radio.power", "31 -> 10")
+    assert "radio.power: 31 -> 10" in log.recent()[0].render()
+
+
+def test_kernel_services_log_events():
+    tb = Testbed(seed=1)
+    node = tb.add_node("a", (0, 0))
+    node.syscalls.invoke("radio_set_power", 10)
+    node.neighbors.blacklist(7)
+    node.neighbors.set_beacon_interval(1.0)
+    codes = [e.code for e in node.events.recent()]
+    assert "radio.power" in codes
+    assert "neighbor.blacklist" in codes
+    assert "neighbor.beacon_interval" in codes
+
+
+def test_event_log_syscall():
+    tb = Testbed(seed=1)
+    node = tb.add_node("a", (0, 0))
+    node.syscalls.invoke("radio_set_channel", 20)
+    events = node.syscalls.invoke("event_log", 5)
+    assert events and events[-1].code == "radio.channel"

@@ -1,0 +1,80 @@
+"""Tests for node failure/recovery and how the toolkit surfaces it."""
+
+from repro.core.deploy import deploy_liteview
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+def make_deployment(n=3):
+    tb = build_chain(n, spacing=60.0, seed=7,
+                     propagation_kwargs=QUIET_PROPAGATION)
+    return deploy_liteview(tb, warm_up=15.0)
+
+
+def test_fail_silences_node():
+    dep = make_deployment()
+    tb = dep.testbed
+    tb.node(2).fail()
+    assert not tb.node(2).is_up
+    before = tb.monitor.counter("neighbors.beacons_sent")
+    sent_by_2 = sum(1 for r in tb.monitor.packets if r.sender == 2)
+    tb.warm_up(10.0)
+    assert sum(1 for r in tb.monitor.packets if r.sender == 2) == sent_by_2
+
+
+def test_failed_node_vanishes_from_neighbor_tables():
+    dep = make_deployment()
+    tb = dep.testbed
+    assert tb.node(1).neighbors.lookup(2) is not None
+    tb.node(2).fail()
+    tb.warm_up(30.0)
+    assert tb.node(1).neighbors.lookup(2) is None
+
+
+def test_ping_diagnoses_dead_node():
+    dep = make_deployment()
+    tb = dep.testbed
+    tb.node(2).fail()
+    dep.login("192.168.0.1")
+    dep.run("ping 192.168.0.2 round=3")
+    result = dep.interpreter.last_result
+    assert result.received == 0
+    assert result.lost == 3
+
+
+def test_recovery_restores_service():
+    dep = make_deployment()
+    tb = dep.testbed
+    tb.node(2).fail()
+    tb.warm_up(10.0)
+    tb.node(2).recover()
+    tb.warm_up(10.0)  # beacons repopulate the tables
+    assert tb.node(1).neighbors.lookup(2) is not None
+    dep.login("192.168.0.1")
+    dep.run("ping 192.168.0.2 round=2")
+    assert dep.interpreter.last_result.received >= 1
+
+
+def test_failure_clears_queue_and_logs_event():
+    dep = make_deployment()
+    tb = dep.testbed
+    node = tb.node(2)
+    from repro.mac.frame import BROADCAST, Frame
+    node.mac.queue.put(Frame(src=2, dst=BROADCAST, payload=b"x"))
+    node.fail()
+    assert node.mac.queue_occupancy == 0
+    codes = [e.code for e in node.events.recent()]
+    assert "kernel.failed" in codes
+    node.recover()
+    assert "kernel.recovered" in [e.code for e in node.events.recent()]
+
+
+def test_fail_and_recover_idempotent():
+    dep = make_deployment()
+    node = dep.testbed.node(2)
+    node.fail()
+    node.fail()
+    assert dep.testbed.monitor.counter("kernel.failures") == 1
+    node.recover()
+    node.recover()
+    assert dep.testbed.monitor.counter("kernel.recoveries") == 1

@@ -1,0 +1,73 @@
+"""Unit tests for MAC frame layout and airtime."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mac import (
+    BROADCAST,
+    FRAME_OVERHEAD_BYTES,
+    MAX_PAYLOAD_BYTES,
+    Frame,
+    frame_airtime,
+)
+from repro.units import BYTE_AIRTIME
+
+
+def test_airtime_of_empty_frame_is_overhead_only():
+    assert frame_airtime(0) == pytest.approx(FRAME_OVERHEAD_BYTES * BYTE_AIRTIME)
+
+
+def test_airtime_scales_per_byte():
+    assert frame_airtime(10) - frame_airtime(0) == pytest.approx(
+        10 * BYTE_AIRTIME
+    )
+
+
+def test_airtime_rejects_negative():
+    with pytest.raises(ValueError):
+        frame_airtime(-1)
+
+
+@given(st.integers(0, MAX_PAYLOAD_BYTES))
+def test_airtime_positive_and_bounded(n):
+    t = frame_airtime(n)
+    assert 0 < t < 0.005  # even a max frame is under 5 ms at 250 kbps
+
+
+def test_frame_size_accounting():
+    f = Frame(src=1, dst=2, payload=b"x" * 30)
+    assert f.payload_bytes == 30
+    assert f.size_bytes == 30 + FRAME_OVERHEAD_BYTES
+
+
+def test_frame_airtime_matches_function():
+    f = Frame(src=1, dst=2, payload=b"x" * 30)
+    assert f.airtime == frame_airtime(30)
+
+
+def test_broadcast_flag():
+    assert Frame(src=1, dst=BROADCAST, payload=b"").is_broadcast
+    assert not Frame(src=1, dst=2, payload=b"").is_broadcast
+
+
+def test_frame_rejects_oversize_payload():
+    with pytest.raises(ValueError):
+        Frame(src=1, dst=2, payload=b"x" * (MAX_PAYLOAD_BYTES + 1))
+
+
+def test_frame_rejects_non_bytes_payload():
+    with pytest.raises(TypeError):
+        Frame(src=1, dst=2, payload="string")  # type: ignore[arg-type]
+
+
+def test_frame_accepts_bytearray():
+    f = Frame(src=1, dst=2, payload=bytearray(b"ab"))
+    assert f.payload == b"ab"
+    assert isinstance(f.payload, bytes)
+
+
+def test_sequence_numbers_increase():
+    a = Frame(src=1, dst=2, payload=b"")
+    b = Frame(src=1, dst=2, payload=b"")
+    assert b.seq > a.seq

@@ -1,0 +1,78 @@
+"""Unit tests for DSDV internals: sequence arithmetic, advert packing."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel import Testbed
+from repro.net import DsdvRouting, WellKnownPorts
+from repro.net.routing.dsdv import (
+    MAX_ENTRIES_PER_ADVERT,
+    _parse_advert,
+    _seq_newer,
+)
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+def test_seq_newer_basic():
+    assert _seq_newer(2, 1)
+    assert not _seq_newer(1, 2)
+    assert not _seq_newer(5, 5)
+
+
+def test_seq_newer_wraparound():
+    """Near the 16-bit wrap, 0x0002 is newer than 0xFFFE."""
+    assert _seq_newer(0x0002, 0xFFFE)
+    assert not _seq_newer(0xFFFE, 0x0002)
+
+
+@given(st.integers(0, 0xFFFF), st.integers(1, 0x7FFE))
+def test_seq_newer_consistent_with_distance(base, step):
+    newer = (base + step) & 0xFFFF
+    assert _seq_newer(newer, base)
+    assert not _seq_newer(base, newer)
+
+
+def test_parse_advert_roundtrip():
+    entries = [(5, 2, 100), (9, 0, 2)]
+    payload = bytes([0x10, len(entries)]) + b"".join(
+        struct.pack(">HBH", *e) for e in entries
+    )
+    assert _parse_advert(payload) == entries
+
+
+def test_parse_advert_rejects_bad_lengths():
+    with pytest.raises(ValueError):
+        _parse_advert(b"\x10")
+    with pytest.raises(ValueError):
+        _parse_advert(bytes([0x10, 2]) + b"\x00" * 5)  # one entry short
+
+
+def test_large_tables_split_across_adverts():
+    """A table bigger than one advert's capacity goes out in chunks."""
+    tb = Testbed(seed=1, propagation_kwargs=QUIET_PROPAGATION)
+    node = tb.add_node("hub", (0.0, 0.0))
+    proto = node.install_protocol(DsdvRouting)
+    # Fabricate a large table directly (unit-level).
+    from repro.net.routing.dsdv import Route
+    for dest in range(100, 100 + MAX_ENTRIES_PER_ADVERT + 5):
+        proto._table[dest] = Route(dest=dest, next_hop=2, metric=1,
+                                   seq=2, updated_at=tb.env.now)
+    before = tb.monitor.counter("dsdv.adverts_sent")
+    proto._broadcast_table()
+    sent = tb.monitor.counter("dsdv.adverts_sent") - before
+    assert sent == 2  # capacity + 6 entries (incl. self) need two adverts
+
+
+def test_fringe_advert_counter():
+    """Adverts below the LQI floor are counted, not learned from."""
+    tb = Testbed(seed=8, propagation_kwargs=QUIET_PROPAGATION)
+    tb.add_node("a", (0.0, 0.0))
+    tb.add_node("b", (95.0, 0.0))  # gray link: low-LQI adverts
+    tb.install_protocol_everywhere(DsdvRouting)
+    tb.warm_up(60.0)
+    assert tb.monitor.counter("dsdv.fringe_adverts_ignored") > 0
+    route = tb.node(1).protocol_on(WellKnownPorts.DSDV).route_to(2)
+    assert route is None  # never learned over the fringe link

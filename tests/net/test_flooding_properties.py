@@ -1,0 +1,66 @@
+"""Property tests for flooding on random topologies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import FloodingProtocol, WellKnownPorts
+from repro.workloads import build_random_field
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+@given(
+    seed=st.integers(1, 10_000),
+    n_nodes=st.integers(4, 8),
+    sends=st.integers(1, 3),
+)
+@settings(max_examples=10, deadline=None)
+def test_at_most_once_delivery_per_flood(seed, n_nodes, sends):
+    """However the flood propagates, dedup guarantees each node delivers
+    each distinct send at most once."""
+    testbed = build_random_field(
+        n_nodes, radius=80.0, seed=seed, min_separation=25.0,
+        propagation_kwargs=QUIET_PROPAGATION,
+    )
+    testbed.install_protocol_everywhere(FloodingProtocol)
+    deliveries: dict[int, list[bytes]] = {n.id: [] for n in testbed.nodes()}
+    for node in testbed.nodes():
+        node.stack.ports.subscribe(
+            77,
+            lambda p, a, nid=node.id: deliveries[nid].append(p.payload),
+            name="sink",
+        )
+    testbed.warm_up(5.0)
+    source = testbed.node(1).protocol_on(WellKnownPorts.FLOODING)
+    for i in range(sends):
+        source.send(0xFFFF, 77, bytes([i]))
+        testbed.warm_up(2.0)
+    for node_id, got in deliveries.items():
+        if node_id == 1:
+            continue
+        # No payload delivered twice at any node.
+        assert len(got) == len(set(got)), (node_id, got)
+
+
+def test_flood_covers_a_connected_component():
+    """On a dense field, a broadcast flood reaches every node."""
+    testbed = build_random_field(
+        8, radius=70.0, seed=7, min_separation=20.0,
+        propagation_kwargs=QUIET_PROPAGATION,
+    )
+    testbed.install_protocol_everywhere(FloodingProtocol)
+    reached = set()
+    for node in testbed.nodes():
+        node.stack.ports.subscribe(
+            77, lambda p, a, nid=node.id: reached.add(nid), name="sink",
+        )
+    testbed.warm_up(5.0)
+    source = testbed.node(1).protocol_on(WellKnownPorts.FLOODING)
+    # A couple of attempts to ride out chance collisions.
+    for attempt in range(3):
+        source.send(0xFFFF, 77, bytes([attempt]))
+        testbed.warm_up(3.0)
+        if len(reached) == len(testbed) - 1:
+            break
+    others = {n.id for n in testbed.nodes()} - {1}
+    missing = others - reached
+    assert not missing, f"flood never reached {missing}"

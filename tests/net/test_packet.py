@@ -1,0 +1,147 @@
+"""Unit and property tests for the network packet format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CrcError, HeaderError, PaddingOverflow
+from repro.net import ANY_NODE, HEADER_BYTES, Packet
+from repro.net.padding import HopQuality
+
+
+def make_packet(**kw):
+    defaults = dict(port=10, origin=1, dest=2, payload=b"hello")
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+def test_roundtrip_simple():
+    p = make_packet(seq=7, ttl=5, hop_count=3)
+    q = Packet.from_bytes(p.to_bytes())
+    assert (q.port, q.origin, q.dest, q.seq, q.ttl, q.hop_count) == \
+        (10, 1, 2, 7, 5, 3)
+    assert q.payload == b"hello"
+    assert not q.padding_enabled
+
+
+packets = st.builds(
+    Packet,
+    port=st.integers(0, 255),
+    origin=st.integers(0, 0xFFFF),
+    dest=st.integers(0, 0xFFFF),
+    payload=st.binary(max_size=40),
+    seq=st.integers(0, 0xFFFF),
+    ttl=st.integers(0, 255),
+    padding_enabled=st.booleans(),
+    hop_count=st.integers(0, 255),
+    hop_quality=st.lists(
+        st.builds(HopQuality, lqi=st.integers(0, 255),
+                  rssi=st.integers(-128, 127)),
+        max_size=10,
+    ),
+)
+
+
+@given(packets)
+def test_roundtrip_property(p):
+    q = Packet.from_bytes(p.to_bytes())
+    assert q.port == p.port
+    assert q.origin == p.origin
+    assert q.dest == p.dest
+    assert q.payload == p.payload
+    assert q.seq == p.seq
+    assert q.ttl == p.ttl
+    assert q.padding_enabled == p.padding_enabled
+    assert q.hop_count == p.hop_count
+    assert q.hop_quality == p.hop_quality
+
+
+@given(packets)
+def test_wire_size_matches_serialisation(p):
+    assert p.wire_size == len(p.to_bytes())
+
+
+@given(packets, st.integers(0, 7))
+def test_any_bitflip_is_caught(p, bit):
+    """Every single-bit corruption must be rejected (CRC or structure)."""
+    wire = bytearray(p.to_bytes())
+    for idx in range(len(wire)):
+        corrupted = bytearray(wire)
+        corrupted[idx] ^= 1 << bit
+        if bytes(corrupted) == bytes(wire):
+            continue
+        with pytest.raises((CrcError, HeaderError)):
+            Packet.from_bytes(bytes(corrupted))
+
+
+def test_padding_entries_roundtrip():
+    p = make_packet(padding_enabled=True, payload=b"x" * 16)
+    p.add_hop_quality(108, -20)
+    p.add_hop_quality(95, -40)
+    q = Packet.from_bytes(p.to_bytes())
+    assert q.hop_quality == [HopQuality(108, -20), HopQuality(95, -40)]
+
+
+def test_padding_requires_flag():
+    p = make_packet(padding_enabled=False)
+    with pytest.raises(PaddingOverflow):
+        p.add_hop_quality(100, -10)
+
+
+def test_paper_hop_budget_16_byte_probe():
+    """§IV-C.3: 'as the probe packet has a payload of 16 bytes, as each
+    hop takes two bytes in padding, a packet could at most travel 24
+    hops'."""
+    p = make_packet(padding_enabled=True, payload=b"p" * 16)
+    assert p.padding_room == 24
+    for _ in range(24):
+        p.add_hop_quality(100, -10)
+    with pytest.raises(PaddingOverflow):
+        p.add_hop_quality(100, -10)
+
+
+def test_full_payload_leaves_no_padding_room():
+    p = make_packet(padding_enabled=True, payload=b"x" * 64)
+    assert p.padding_room == 0
+    with pytest.raises(PaddingOverflow):
+        p.add_hop_quality(100, -10)
+
+
+def test_oversize_payload_rejected():
+    with pytest.raises(HeaderError):
+        make_packet(payload=b"x" * 65)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("port", 256), ("port", -1),
+    ("origin", 0x10000), ("dest", -1),
+    ("ttl", 256), ("hop_count", -1), ("seq", 0x10000),
+])
+def test_header_field_validation(field, value):
+    with pytest.raises(HeaderError):
+        make_packet(**{field: value})
+
+
+def test_non_bytes_payload_rejected():
+    with pytest.raises(HeaderError):
+        make_packet(payload="text")  # type: ignore[arg-type]
+
+
+def test_truncated_wire_rejected():
+    wire = make_packet().to_bytes()
+    with pytest.raises((CrcError, HeaderError)):
+        Packet.from_bytes(wire[:HEADER_BYTES])
+
+
+def test_copy_is_independent():
+    p = make_packet(padding_enabled=True, payload=b"x" * 16)
+    p.add_hop_quality(100, -10)
+    q = p.copy()
+    q.add_hop_quality(90, -20)
+    assert len(p.hop_quality) == 1
+    assert len(q.hop_quality) == 2
+
+
+def test_any_node_constant():
+    p = make_packet(dest=ANY_NODE)
+    assert Packet.from_bytes(p.to_bytes()).dest == ANY_NODE

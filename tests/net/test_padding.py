@@ -1,0 +1,80 @@
+"""Unit and property tests for link-quality padding arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PaddingOverflow
+from repro.net.padding import (
+    PAD_ENTRY_BYTES,
+    PAYLOAD_REGION_BYTES,
+    HopQuality,
+    decode_entries,
+    encode_entries,
+    max_padded_hops,
+)
+
+
+def test_paper_example():
+    """16-byte probe → 24 hops of padding."""
+    assert max_padded_hops(16) == 24
+
+
+def test_empty_payload_maximum():
+    assert max_padded_hops(0) == PAYLOAD_REGION_BYTES // PAD_ENTRY_BYTES
+
+
+def test_full_payload_no_room():
+    assert max_padded_hops(PAYLOAD_REGION_BYTES) == 0
+
+
+@given(st.integers(0, PAYLOAD_REGION_BYTES))
+def test_hop_budget_formula(n):
+    hops = max_padded_hops(n)
+    assert n + hops * PAD_ENTRY_BYTES <= PAYLOAD_REGION_BYTES
+    assert n + (hops + 1) * PAD_ENTRY_BYTES > PAYLOAD_REGION_BYTES
+
+
+def test_rejects_negative_and_oversize():
+    with pytest.raises(ValueError):
+        max_padded_hops(-1)
+    with pytest.raises(ValueError):
+        max_padded_hops(PAYLOAD_REGION_BYTES + 1)
+
+
+entries = st.lists(
+    st.builds(HopQuality, lqi=st.integers(0, 255),
+              rssi=st.integers(-128, 127)),
+    max_size=32,
+)
+
+
+@given(entries)
+def test_encode_decode_roundtrip(es):
+    assert decode_entries(encode_entries(es)) == es
+
+
+@given(entries)
+def test_encoding_is_two_bytes_per_hop(es):
+    assert len(encode_entries(es)) == PAD_ENTRY_BYTES * len(es)
+
+
+def test_odd_length_region_rejected():
+    with pytest.raises(PaddingOverflow):
+        decode_entries(b"\x01\x02\x03")
+
+
+def test_hop_quality_validation():
+    with pytest.raises(ValueError):
+        HopQuality(lqi=256, rssi=0)
+    with pytest.raises(ValueError):
+        HopQuality(lqi=-1, rssi=0)
+    with pytest.raises(ValueError):
+        HopQuality(lqi=100, rssi=128)
+    with pytest.raises(ValueError):
+        HopQuality(lqi=100, rssi=-129)
+
+
+def test_negative_rssi_survives_encoding():
+    [entry] = decode_entries(encode_entries([HopQuality(100, -65)]))
+    assert entry.rssi == -65

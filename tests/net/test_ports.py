@@ -1,0 +1,77 @@
+"""Unit tests for the port map."""
+
+import pytest
+
+from repro.errors import PortInUse
+from repro.net import Packet, PortMap, WellKnownPorts
+
+
+def make_packet(port=10):
+    return Packet(port=port, origin=1, dest=2, payload=b"")
+
+
+def test_subscribe_and_dispatch():
+    pm = PortMap()
+    got = []
+    pm.subscribe(10, lambda p, a: got.append(p), name="ten")
+    assert pm.dispatch(make_packet(10), None)
+    assert len(got) == 1
+
+
+def test_dispatch_unmatched_counts_and_returns_false():
+    pm = PortMap()
+    assert not pm.dispatch(make_packet(99), None)
+    assert pm.unmatched == 1
+
+
+def test_port_conflict_raises():
+    pm = PortMap()
+    pm.subscribe(10, lambda p, a: None, name="first")
+    with pytest.raises(PortInUse, match="first"):
+        pm.subscribe(10, lambda p, a: None, name="second")
+
+
+def test_unsubscribe_releases_port():
+    pm = PortMap()
+    sub = pm.subscribe(10, lambda p, a: None)
+    pm.unsubscribe(sub)
+    assert pm.holder(10) is None
+    pm.subscribe(10, lambda p, a: None)  # reusable now
+
+
+def test_unsubscribe_is_idempotent():
+    pm = PortMap()
+    sub = pm.subscribe(10, lambda p, a: None)
+    pm.unsubscribe(sub)
+    pm.unsubscribe(sub)  # no error
+
+
+def test_unsubscribe_does_not_clobber_replacement():
+    pm = PortMap()
+    old = pm.subscribe(10, lambda p, a: None)
+    pm.unsubscribe(old)
+    new = pm.subscribe(10, lambda p, a: None)
+    pm.unsubscribe(old)  # stale handle must not remove the new holder
+    assert pm.holder(10) is new
+
+
+def test_ports_listing():
+    pm = PortMap()
+    pm.subscribe(12, lambda p, a: None)
+    pm.subscribe(10, lambda p, a: None)
+    assert pm.ports() == [10, 12]
+
+
+def test_well_known_ports_are_distinct():
+    values = [
+        WellKnownPorts.CONTROL, WellKnownPorts.NEIGHBOR,
+        WellKnownPorts.GEOGRAPHIC, WellKnownPorts.DSDV,
+        WellKnownPorts.FLOODING, WellKnownPorts.PING,
+        WellKnownPorts.TRACEROUTE,
+    ]
+    assert len(set(values)) == len(values)
+
+
+def test_geographic_is_port_10():
+    """The paper's example binds geographic forwarding to port 10."""
+    assert WellKnownPorts.GEOGRAPHIC == 10

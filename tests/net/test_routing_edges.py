@@ -1,0 +1,89 @@
+"""Edge-case tests for the routing framework."""
+
+import pytest
+
+from repro.kernel import Testbed
+from repro.net import GeographicForwarding, Packet
+from repro.net.routing.base import MSG_DATA
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+SINK = 50
+
+
+def pairbed(distance=40.0, seed=3):
+    tb = Testbed(seed=seed, propagation_kwargs=QUIET_PROPAGATION)
+    tb.add_node("a", (0.0, 0.0))
+    tb.add_node("b", (distance, 0.0))
+    tb.install_protocol_everywhere(GeographicForwarding)
+    return tb
+
+
+def test_ttl_zero_drops_immediately():
+    tb = pairbed()
+    tb.warm_up(10.0)
+    before = tb.monitor.counter("routing.ttl_drops")
+    assert not tb.node(1).protocol_on(10).send(2, SINK, b"x", ttl=0)
+    assert tb.monitor.counter("routing.ttl_drops") == before + 1
+
+
+def test_ttl_one_covers_one_hop():
+    tb = pairbed()
+    tb.warm_up(10.0)
+    got = []
+    tb.node(2).stack.ports.subscribe(SINK, lambda p, a: got.append(p))
+    assert tb.node(1).protocol_on(10).send(2, SINK, b"x", ttl=1)
+    tb.warm_up(1.0)
+    assert len(got) == 1
+    assert got[0].ttl == 0
+
+
+def test_malformed_data_payload_counted():
+    """A DATA packet too short to carry an inner port is dropped."""
+    tb = pairbed()
+    tb.warm_up(10.0)
+    proto = tb.node(2).protocol_on(10)
+    bad = Packet(port=10, origin=1, dest=2, payload=bytes([MSG_DATA]))
+    proto._on_packet(bad, None)
+    assert tb.monitor.counter("routing.malformed_data") == 1
+
+
+def test_undeliverable_inner_port_counted():
+    tb = pairbed()
+    tb.warm_up(10.0)
+    tb.node(1).protocol_on(10).send(2, 123, b"x")  # nobody on port 123
+    tb.warm_up(1.0)
+    assert tb.monitor.counter("routing.undeliverable") == 1
+
+
+def test_unknown_control_type_counted():
+    tb = pairbed()
+    tb.warm_up(10.0)
+    proto = tb.node(2).protocol_on(10)
+    weird = Packet(port=10, origin=1, dest=2, payload=bytes([0x7F]))
+    proto._on_packet(weird, None)
+    assert tb.monitor.counter("routing.unknown_control") == 1
+
+
+def test_seeded_padding_rejected_when_region_overflows():
+    tb = pairbed()
+    tb.warm_up(10.0)
+    from repro.net.padding import HopQuality
+    proto = tb.node(1).protocol_on(10)
+    too_much = [HopQuality(100, -50)] * 30
+    with pytest.raises(ValueError):
+        proto.send(2, SINK, b"p" * 16, padding=True,
+                   initial_quality=too_much)
+
+
+def test_route_next_hop_matches_forwarding():
+    tb = Testbed(seed=3, propagation_kwargs=QUIET_PROPAGATION)
+    for i in range(3):
+        tb.add_node(f"n{i}", (i * 60.0, 0.0))
+    tb.install_protocol_everywhere(GeographicForwarding)
+    tb.warm_up(10.0)
+    assert tb.node(1).protocol_on(10).route_next_hop(3) == 2
+
+
+def test_max_payload_exposed():
+    tb = pairbed()
+    assert tb.node(1).protocol_on(10).max_payload == 62

@@ -1,0 +1,110 @@
+"""Unit tests for the CC2420 chip model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidChannel, InvalidPowerLevel
+from repro.radio import (
+    MAX_CHANNEL,
+    MAX_POWER_LEVEL,
+    MIN_CHANNEL,
+    MIN_POWER_LEVEL,
+    NUM_CHANNELS,
+    RadioConfig,
+    channel_frequency_mhz,
+    power_level_to_dbm,
+)
+
+
+def test_datasheet_anchor_points():
+    assert power_level_to_dbm(31) == 0.0
+    assert power_level_to_dbm(27) == -1.0
+    assert power_level_to_dbm(23) == -3.0
+    assert power_level_to_dbm(19) == -5.0
+    assert power_level_to_dbm(15) == -7.0
+    assert power_level_to_dbm(11) == -10.0
+    assert power_level_to_dbm(7) == -15.0
+    assert power_level_to_dbm(3) == -25.0
+
+
+def test_paper_power_range():
+    """The paper: 'programmed output power ranging from -25dBm to 0dBm'."""
+    assert power_level_to_dbm(3) == -25.0
+    assert power_level_to_dbm(MAX_POWER_LEVEL) == 0.0
+
+
+@given(st.integers(MIN_POWER_LEVEL, MAX_POWER_LEVEL - 1))
+def test_power_monotone_nondecreasing(level):
+    assert power_level_to_dbm(level) <= power_level_to_dbm(level + 1)
+
+
+@given(st.integers(MIN_POWER_LEVEL, MAX_POWER_LEVEL))
+def test_power_within_physical_bounds(level):
+    dbm = power_level_to_dbm(level)
+    assert -30.0 <= dbm <= 0.0
+
+
+def test_power_levels_used_in_paper_differ_visibly():
+    """Figure 6 uses levels 10 and 25; they must differ by several dB."""
+    assert power_level_to_dbm(25) - power_level_to_dbm(10) >= 5.0
+
+
+@pytest.mark.parametrize("bad", [-1, 32, 100])
+def test_power_level_out_of_range(bad):
+    with pytest.raises(InvalidPowerLevel):
+        power_level_to_dbm(bad)
+
+
+def test_sixteen_channels():
+    assert NUM_CHANNELS == 16
+
+
+def test_channel_frequencies():
+    assert channel_frequency_mhz(11) == 2405.0
+    assert channel_frequency_mhz(17) == 2435.0
+    assert channel_frequency_mhz(26) == 2480.0
+
+
+@pytest.mark.parametrize("bad", [0, 10, 27])
+def test_channel_out_of_range(bad):
+    with pytest.raises(InvalidChannel):
+        channel_frequency_mhz(bad)
+
+
+def test_radio_config_defaults_match_paper_sample():
+    """The sample output shows Power = 31, Channel = 17."""
+    cfg = RadioConfig()
+    assert cfg.power_level == 31
+    assert cfg.channel == 17
+
+
+def test_radio_config_set_power():
+    cfg = RadioConfig()
+    cfg.set_power_level(10)
+    assert cfg.power_level == 10
+    assert cfg.tx_power_dbm == power_level_to_dbm(10)
+
+
+def test_radio_config_set_channel():
+    cfg = RadioConfig()
+    cfg.set_channel(26)
+    assert cfg.channel == 26
+    assert cfg.frequency_mhz == 2480.0
+
+
+def test_radio_config_rejects_bad_values():
+    cfg = RadioConfig()
+    with pytest.raises(InvalidPowerLevel):
+        cfg.set_power_level(99)
+    with pytest.raises(InvalidChannel):
+        cfg.set_channel(5)
+    with pytest.raises(InvalidPowerLevel):
+        cfg.set_power_level("31")  # type: ignore[arg-type]
+
+
+def test_radio_config_validates_at_construction():
+    with pytest.raises(InvalidChannel):
+        RadioConfig(channel=7)
+    with pytest.raises(InvalidPowerLevel):
+        RadioConfig(power_level=-3)

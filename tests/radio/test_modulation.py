@@ -1,0 +1,82 @@
+"""Unit and property tests for the 802.15.4 link model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.radio import bit_error_rate, packet_reception_ratio, snr_db_for_prr
+
+
+def test_high_snr_is_nearly_error_free():
+    assert bit_error_rate(20.0) < 1e-9
+    assert packet_reception_ratio(20.0, 64) > 0.999
+
+
+def test_low_snr_is_hopeless():
+    assert packet_reception_ratio(-10.0, 64) < 0.01
+
+
+def test_ber_bounds():
+    for snr in (-30.0, -5.0, 0.0, 5.0, 30.0):
+        assert 0.0 <= bit_error_rate(snr) <= 0.5
+
+
+@given(st.floats(-20.0, 30.0), st.floats(-20.0, 30.0))
+def test_ber_monotone_decreasing(a, b):
+    lo, hi = sorted((a, b))
+    assert bit_error_rate(hi) <= bit_error_rate(lo) + 1e-12
+
+
+@given(st.floats(-20.0, 30.0))
+def test_prr_is_probability(snr):
+    prr = packet_reception_ratio(snr, 32)
+    assert 0.0 <= prr <= 1.0
+
+
+@given(st.floats(-20.0, 30.0), st.integers(1, 120))
+def test_longer_frames_are_harder(snr, length):
+    shorter = packet_reception_ratio(snr, length)
+    longer = packet_reception_ratio(snr, length + 10)
+    assert longer <= shorter + 1e-12
+
+
+def test_waterfall_region_location():
+    """The DSSS PRR waterfall sits in roughly -3..+1 dB (processing gain
+    lets 802.15.4 decode near the noise floor)."""
+    assert packet_reception_ratio(-4.0, 50) < 0.01
+    assert packet_reception_ratio(1.0, 50) > 0.99
+    # The 50% crossing lies between -2 and 0 dB.
+    assert packet_reception_ratio(-2.0, 50) < 0.5 < packet_reception_ratio(0.0, 50)
+
+
+def test_vectorised_matches_scalar():
+    snrs = np.array([-5.0, 0.0, 3.0, 10.0])
+    vec = packet_reception_ratio(snrs, 40)
+    for i, snr in enumerate(snrs):
+        assert vec[i] == pytest.approx(packet_reception_ratio(float(snr), 40))
+
+
+def test_vectorised_ber_shape():
+    snrs = np.linspace(-10, 20, 101)
+    assert bit_error_rate(snrs).shape == (101,)
+
+
+def test_prr_rejects_nonpositive_length():
+    with pytest.raises(ValueError):
+        packet_reception_ratio(5.0, 0)
+
+
+def test_snr_for_prr_inverts_the_curve():
+    snr = snr_db_for_prr(0.95, 64)
+    assert packet_reception_ratio(snr, 64) == pytest.approx(0.95, abs=0.01)
+
+
+def test_snr_for_prr_higher_target_needs_more_snr():
+    assert snr_db_for_prr(0.99, 64) > snr_db_for_prr(0.5, 64)
+
+
+@pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+def test_snr_for_prr_rejects_bad_target(bad):
+    with pytest.raises(ValueError):
+        snr_db_for_prr(bad, 64)

@@ -1,0 +1,78 @@
+"""Unit tests for the RSSI and LQI observable models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.radio import (
+    LQI_MAX,
+    LQI_MIN,
+    LqiModel,
+    RssiModel,
+    dbm_to_reading,
+    lqi_from_sinr,
+    reading_to_dbm,
+)
+from repro.sim import RngRegistry
+
+
+def test_paper_calibration_point():
+    """'a RSSI reading of -20 indicates ... approximately -65dBm'."""
+    assert dbm_to_reading(-65.0) == -20
+    assert reading_to_dbm(-20) == -65.0
+
+
+@given(st.integers(-100, 50))
+def test_rssi_roundtrip(reading):
+    assert dbm_to_reading(reading_to_dbm(reading)) == reading
+
+
+def test_rssi_reading_tracks_power():
+    model = RssiModel(RngRegistry(1), noise_sigma_db=0.0)
+    assert model.reading(-65.0) == -20
+    assert model.reading(-55.0) == -10
+
+
+def test_rssi_noise_produces_spread():
+    model = RssiModel(RngRegistry(1), noise_sigma_db=2.0)
+    readings = {model.reading(-65.0) for _ in range(50)}
+    assert len(readings) > 1
+    assert all(abs(r - (-20)) < 12 for r in readings)
+
+
+def test_rssi_rejects_negative_sigma():
+    with pytest.raises(ValueError):
+        RssiModel(RngRegistry(1), noise_sigma_db=-1.0)
+
+
+def test_lqi_saturates_high():
+    assert lqi_from_sinr(30.0) == pytest.approx(LQI_MAX, abs=1.0)
+
+
+def test_lqi_bottoms_out_low():
+    assert lqi_from_sinr(-20.0) == pytest.approx(LQI_MIN, abs=1.0)
+
+
+@given(st.floats(-30.0, 40.0), st.floats(-30.0, 40.0))
+def test_lqi_monotone_in_sinr(a, b):
+    lo, hi = sorted((a, b))
+    assert lqi_from_sinr(lo) <= lqi_from_sinr(hi) + 1e-9
+
+
+def test_lqi_model_bounds():
+    model = LqiModel(RngRegistry(2), noise_sigma=5.0)
+    for sinr in (-30.0, 0.0, 4.0, 10.0, 40.0):
+        for _ in range(20):
+            assert LQI_MIN <= model.reading(sinr) <= LQI_MAX
+
+
+def test_good_links_report_lqi_near_paper_values():
+    """The paper's sample outputs show LQI 103..108 on working links."""
+    model = LqiModel(RngRegistry(3), noise_sigma=1.5)
+    readings = [model.reading(15.0) for _ in range(20)]
+    assert all(r >= 100 for r in readings)
+
+
+def test_lqi_rejects_negative_sigma():
+    with pytest.raises(ValueError):
+        LqiModel(RngRegistry(1), noise_sigma=-0.1)

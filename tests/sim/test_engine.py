@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Infinity
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(1.5)
+    env.run()
+    assert env.now == 1.5
+
+
+def test_run_until_number_lands_exactly():
+    env = Environment()
+    env.timeout(1.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_number_processes_only_due_events():
+    env = Environment()
+    fired = []
+    env.timeout(1.0).add_callback(lambda e: fired.append(1.0))
+    env.timeout(3.0).add_callback(lambda e: fired.append(3.0))
+    env.run(until=2.0)
+    assert fired == [1.0]
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_events_process_in_time_order():
+    env = Environment()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        env.timeout(delay, value=delay).add_callback(
+            lambda e: order.append(e.value)
+        )
+    env.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_equal_time_events_process_in_insertion_order():
+    env = Environment()
+    order = []
+    for i in range(5):
+        env.timeout(1.0, value=i).add_callback(lambda e: order.append(e.value))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_step_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_empty_is_infinity():
+    env = Environment()
+    assert env.peek() == Infinity
+
+
+def test_peek_returns_next_timestamp():
+    env = Environment()
+    env.timeout(2.0)
+    env.timeout(1.0)
+    assert env.peek() == 1.0
+
+
+def test_schedule_into_past_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.schedule(env.event(), delay=-1.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+    t = env.timeout(2.0, value="done")
+    assert env.run(until=t) == "done"
+    assert env.now == 2.0
+
+
+def test_run_until_event_already_processed():
+    env = Environment()
+    t = env.timeout(1.0, value=42)
+    env.run()
+    assert env.run(until=t) == 42
+
+
+def test_run_until_event_never_triggered_raises():
+    env = Environment()
+    pending = env.event()
+    env.timeout(1.0)
+    with pytest.raises(SimulationError):
+        env.run(until=pending)
+
+
+def test_unhandled_failure_crashes_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_defused_failure_does_not_crash():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("boom"))
+    ev.defused = True
+    env.run()  # should not raise
+
+
+def test_succeed_twice_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_negative_timeout_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-0.5)
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value
+
+
+def test_event_ok_before_trigger_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().ok
+
+
+def test_callback_after_processed_fires_immediately():
+    env = Environment()
+    ev = env.timeout(0.0, value=7)
+    env.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == [7]

@@ -1,0 +1,68 @@
+"""Property tests for the event scheduler's ordering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+
+@given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        env.timeout(delay).add_callback(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_clock_never_goes_backwards_under_nested_scheduling(delays):
+    env = Environment()
+    observed = []
+
+    def worker(my_delays):
+        last = env.now
+        for delay in my_delays:
+            yield env.timeout(delay)
+            assert env.now >= last
+            observed.append(env.now)
+            last = env.now
+
+    env.process(worker(list(delays)))
+    env.run()
+    assert len(observed) == len(delays)
+
+
+@given(st.integers(1, 40))
+@settings(max_examples=30, deadline=None)
+def test_simultaneous_events_fifo(n):
+    """All events at the same instant process in insertion order."""
+    env = Environment()
+    order = []
+    for i in range(n):
+        env.timeout(1.0, value=i).add_callback(
+            lambda e: order.append(e.value))
+    env.run()
+    assert order == list(range(n))
+
+
+@given(st.lists(st.floats(0.001, 5.0), min_size=1, max_size=20),
+       st.floats(0.5, 10.0))
+@settings(max_examples=40, deadline=None)
+def test_run_until_horizon_is_exact_partition(delays, horizon):
+    """Events strictly before the horizon fire; later ones stay queued
+    and fire on the next run — no event lost or duplicated."""
+    env = Environment()
+    fired = []
+    for delay in delays:
+        env.timeout(delay, value=delay).add_callback(
+            lambda e: fired.append(e.value))
+    env.run(until=horizon)
+    early = [d for d in delays if d <= horizon]
+    assert sorted(fired) == sorted(early)
+    env.run()
+    assert sorted(fired) == sorted(delays)

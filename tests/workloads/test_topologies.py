@@ -1,0 +1,99 @@
+"""Tests for topology generators and canned scenarios."""
+
+import math
+
+import pytest
+
+from repro.sim import RngRegistry
+from repro.workloads import (
+    build_chain,
+    build_grid,
+    build_random_field,
+    chain_positions,
+    eight_hop_chain,
+    grid_positions,
+    ip_names,
+    random_disk_positions,
+    thirty_node_field,
+)
+
+
+def test_chain_positions_spacing():
+    positions = chain_positions(4, spacing=10.0)
+    assert positions == [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]
+
+
+def test_chain_needs_a_node():
+    with pytest.raises(ValueError):
+        chain_positions(0)
+
+
+def test_grid_positions_count_and_shape():
+    positions = grid_positions(3, 4, spacing=5.0)
+    assert len(positions) == 12
+    assert positions[0] == (0.0, 0.0)
+    assert positions[-1] == (15.0, 10.0)
+
+
+def test_grid_jitter_requires_rng():
+    with pytest.raises(ValueError):
+        grid_positions(2, 2, jitter=1.0)
+
+
+def test_grid_jitter_bounded():
+    rng = RngRegistry(3)
+    positions = grid_positions(3, 3, spacing=10.0, jitter=2.0, rng=rng)
+    for (x, y), (gx, gy) in zip(positions, grid_positions(3, 3, 10.0)):
+        assert abs(x - gx) <= 2.0 and abs(y - gy) <= 2.0
+
+
+def test_random_disk_respects_radius_and_separation():
+    rng = RngRegistry(5)
+    positions = random_disk_positions(20, radius=100.0, rng=rng,
+                                      min_separation=10.0)
+    assert len(positions) == 20
+    for x, y in positions:
+        assert math.hypot(x, y) <= 100.0 + 1e-9
+    for i, a in enumerate(positions):
+        for b in positions[i + 1:]:
+            assert math.hypot(a[0] - b[0], a[1] - b[1]) >= 10.0
+
+
+def test_random_disk_impossible_raises():
+    rng = RngRegistry(5)
+    with pytest.raises(RuntimeError):
+        random_disk_positions(100, radius=10.0, rng=rng,
+                              min_separation=50.0, max_tries=500)
+
+
+def test_ip_names_convention():
+    assert ip_names(3) == ["192.168.0.1", "192.168.0.2", "192.168.0.3"]
+
+
+def test_build_chain_registers_names():
+    tb = build_chain(3, seed=1)
+    assert tb.namespace.names() == ip_names(3)
+    assert len(tb) == 3
+
+
+def test_build_grid_and_random_field():
+    assert len(build_grid(2, 3, seed=1)) == 6
+    assert len(build_random_field(8, radius=200.0, seed=1)) == 8
+
+
+def test_eight_hop_chain_scenario():
+    tb = eight_hop_chain(seed=1)
+    assert len(tb) == 9  # 8 hops in diameter
+    assert "192.168.0.9" in tb
+
+
+def test_thirty_node_field_scenario():
+    """'a testbed composed of thirty MicaZ nodes'."""
+    tb = thirty_node_field(seed=1)
+    assert len(tb) == 30
+
+
+def test_scenarios_deterministic():
+    a = thirty_node_field(seed=4).node(7).position
+    b = thirty_node_field(seed=4).node(7).position
+    assert a == b
