@@ -3,6 +3,8 @@ sensor network systems (Cao, Wang, Abdelzaher — ICPP 2009).
 
 The package reproduces the LiteView toolkit in simulation:
 
+* :mod:`repro.obs` — observability: packet-lifecycle tracing, metrics
+  registry, sim profiler, trace export
 * :mod:`repro.sim` — discrete-event engine, seeded RNG streams, monitor
 * :mod:`repro.radio` — CC2420 PHY model and shared radio medium
 * :mod:`repro.mac` — 802.15.4-style CSMA/CA MAC
@@ -37,6 +39,7 @@ from repro.core import (
 )
 from repro.kernel import SensorNode, Testbed
 from repro.net import WellKnownPorts
+from repro.obs import MetricsRegistry, SimProfiler, Tracer
 from repro.sim import Environment, Monitor, RngRegistry
 
 __version__ = "1.0.0"
@@ -56,5 +59,8 @@ __all__ = [
     "Environment",
     "Monitor",
     "RngRegistry",
+    "Tracer",
+    "MetricsRegistry",
+    "SimProfiler",
     "__version__",
 ]

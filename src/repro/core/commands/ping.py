@@ -106,9 +106,13 @@ class PingService:
                 initial_quality=packet.hop_quality,
             )
         else:
+            # seq mirrors the probe's so each round is its own lifecycle
+            # in the trace (ids are origin-scoped, so probe and reply
+            # still get distinct ids).
             out = Packet(
                 port=WellKnownPorts.PING, origin=self.node.id,
                 dest=packet.origin, payload=reply.to_bytes(),
+                seq=packet.seq,
             )
             self.node.stack.send(out, arrival.sender, kind="ping")
 
@@ -171,6 +175,7 @@ class PingService:
             else:
                 reply, arrival, reply_packet = values[0]
                 rtt_ms = to_ms(node.env.now - started)
+                node.monitor.observe("ping.rtt_ms", rtt_ms)
                 # The reply's padding region holds the whole round trip:
                 # the forward entries it was seeded with, then one entry
                 # per backward hop (= the reply's own hop count).
@@ -209,8 +214,10 @@ class PingService:
                 target, WellKnownPorts.PING, probe.to_bytes(),
                 padding=True, kind="ping",
             )
+        # The token doubles as the packet seq so consecutive probes trace
+        # as distinct lifecycles instead of sharing "origin:port:0".
         packet = Packet(
             port=WellKnownPorts.PING, origin=self.node.id, dest=target,
-            payload=probe.to_bytes(),
+            payload=probe.to_bytes(), seq=probe.token,
         )
         return self.node.stack.send(packet, target, kind="ping")

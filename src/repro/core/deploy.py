@@ -8,7 +8,6 @@ interpreter.
 
 from __future__ import annotations
 
-import typing as _t
 from dataclasses import dataclass, field
 
 from repro.core.commands.ping import PingService, install_ping

@@ -17,7 +17,7 @@ from __future__ import annotations
 import statistics
 import struct
 import typing as _t
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.deploy import LiteViewDeployment
 from repro.core.serialize import decode_ping_result, decode_trace_result

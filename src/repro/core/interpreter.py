@@ -27,16 +27,16 @@ from repro.core.serialize import (
     decode_trace_result,
 )
 from repro.core.wire import MsgType
-from repro.core.workstation import DEFAULT_RESPONSE_WINDOW, Workstation
+from repro.core.workstation import Workstation
 from repro.errors import (
     CommandError,
     CommandTimeout,
     NoSuchNode,
     ParameterError,
-    ReproError,
     UnknownCommand,
 )
 from repro.net.ports import WellKnownPorts
+from repro.obs.profiler import SimProfiler
 
 __all__ = ["CommandInterpreter"]
 
@@ -69,6 +69,9 @@ class CommandInterpreter:
         self.neighbor_mode = False
         #: Structured result of the last ping/traceroute, for tooling.
         self.last_result: PingResult | TracerouteResult | None = None
+        #: The sim profiler, kept across ``profile off`` so ``profile
+        #: report`` can still print the collected hotspot table.
+        self._profiler: SimProfiler | None = None
 
     # -- public API ------------------------------------------------------------
 
@@ -113,6 +116,9 @@ class CommandInterpreter:
             "events": self._cmd_events,
             "ps": self._cmd_ps,
             "kill": self._cmd_kill,
+            "stats": self._cmd_stats,
+            "trace": self._cmd_trace,
+            "profile": self._cmd_profile,
             "neighborsetup": self._cmd_neighborsetup,
             "help": self._cmd_help,
         }
@@ -154,8 +160,12 @@ class CommandInterpreter:
 
     def _cmd_help(self, args: list[str]) -> str:
         return ("commands: pwd cd ls attach ping traceroute power channel "
-                "scan group neighborsetup"
-                + (" list blacklist update exit"
+                "scan group events ps kill stats trace profile "
+                "neighborsetup\n"
+                "observability: stats (metrics snapshot) | "
+                "trace on|off|last|<origin:port:seq> (packet lifecycle) | "
+                "profile on|off|report (event-loop hotspots)"
+                + ("\nneighborhood mode: list blacklist update exit"
                    if self.neighbor_mode else ""))
 
     # -- management commands ----------------------------------------------------------
@@ -339,6 +349,76 @@ class CommandInterpreter:
                 lines.append(f"{name}: error")
         lines.append(f"({len(replies)} nodes replied)")
         return "\n".join(lines)
+
+    # -- observability commands --------------------------------------------------------
+
+    def _cmd_stats(self, args: list[str]) -> str:
+        """Snapshot of the metrics registry (counters, gauges, histograms).
+
+        Workstation-local: reads the simulation's shared monitor, no
+        radio traffic involved.
+        """
+        return self.testbed.monitor.registry.render()
+
+    def _cmd_trace(self, args: list[str]) -> str:
+        """Packet-lifecycle tracing: toggle it, or explain one packet."""
+        if len(args) != 1:
+            raise ParameterError(
+                "usage: trace on|off|last|<origin:port:seq>"
+            )
+        tracer = self.testbed.env.tracer
+        sub = args[0]
+        if sub == "on":
+            tracer.enable()
+            return "tracing enabled"
+        if sub == "off":
+            tracer.disable()
+            return "tracing disabled"
+        if sub == "last":
+            packet_id = self._last_diagnostic_packet(tracer)
+            if packet_id is None:
+                return ("no traced packets yet"
+                        + ("" if tracer.enabled
+                           else " (tracing is off; `trace on` first)"))
+            return tracer.explain(packet_id)
+        return tracer.explain(sub)
+
+    @staticmethod
+    def _last_diagnostic_packet(tracer) -> str | None:
+        """The most recent traced packet that is not shell plumbing.
+
+        Every shell command rides the reliable control channel, and
+        neighbor beacons flow constantly in the background — so the
+        literal last packet is almost never the user's probe.  ``trace
+        last`` should answer "what happened to my *probe*", so both are
+        skipped unless they are all there is.
+        """
+        background = (f":{WellKnownPorts.CONTROL}:",
+                      f":{WellKnownPorts.NEIGHBOR}:")
+        for event in reversed(tracer.events):
+            packet = event.packet
+            if packet is not None and not any(p in packet
+                                              for p in background):
+                return packet
+        return tracer.last_packet_id
+
+    def _cmd_profile(self, args: list[str]) -> str:
+        """Wall-clock profiling of the event loop: on, off, or report."""
+        if len(args) != 1 or args[0] not in ("on", "off", "report"):
+            raise ParameterError("usage: profile on|off|report")
+        env = self.testbed.env
+        sub = args[0]
+        if sub == "on":
+            if env.profiler is None:
+                self._profiler = SimProfiler().attach(env)
+            return "profiler attached"
+        if sub == "off":
+            SimProfiler.detach(env)
+            return "profiler detached"
+        profiler = env.profiler or self._profiler
+        if profiler is None:
+            return "profiler has never been attached (`profile on` first)"
+        return profiler.report()
 
     # -- neighborhood-management mode ----------------------------------------------------
 

@@ -127,8 +127,10 @@ class ReliableEndpoint:
                     _DATA_FMT, MsgType.RELIABLE_DATA, xfer, index, total,
                     flags,
                 ) + chunks[index]
+                # seq carries the transfer id: retries of one message
+                # share a lifecycle trace, distinct messages don't.
                 packet = Packet(port=self.port, origin=node.id, dest=dest,
-                                payload=data)
+                                payload=data, seq=xfer)
                 node.stack.send(packet, dest, kind="control")
                 node.monitor.count("reliable.data_sent")
             waiter = Event(node.env)
@@ -179,7 +181,7 @@ class ReliableEndpoint:
         ) + payload
         from repro.net.packet import ANY_NODE
         packet = Packet(port=self.port, origin=node.id, dest=ANY_NODE,
-                        payload=data)
+                        payload=data, seq=self._xfer)
         node.monitor.count("reliable.broadcasts")
         return node.stack.broadcast(packet, kind="control")
 
@@ -246,7 +248,7 @@ class ReliableEndpoint:
     def _send_ack(self, dest: int, xfer: int, bitmap: int) -> None:
         data = struct.pack(_ACK_FMT, MsgType.RELIABLE_ACK, xfer, bitmap)
         packet = Packet(port=self.port, origin=self.node.id, dest=dest,
-                        payload=data)
+                        payload=data, seq=xfer)
         self.node.stack.send(packet, dest, kind="control")
         self.node.monitor.count("reliable.acks_sent")
 

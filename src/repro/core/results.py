@@ -16,7 +16,6 @@ second by us on the returning packet.
 
 from __future__ import annotations
 
-import typing as _t
 from dataclasses import dataclass, field
 
 __all__ = [

@@ -17,6 +17,9 @@ import typing as _t
 from collections import deque
 from dataclasses import dataclass
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
+
 __all__ = ["KernelEvent", "EventLog", "DEFAULT_CAPACITY"]
 
 #: Ring size: 32 events × ~40 B fits easily in mote RAM.
@@ -38,7 +41,8 @@ class KernelEvent:
 class EventLog:
     """Bounded ring of kernel events."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *,
+                 tracer: "Tracer | None" = None, node_id: int | None = None):
         if capacity < 1:
             raise ValueError("event log capacity must be >= 1")
         self.capacity = capacity
@@ -47,6 +51,11 @@ class EventLog:
         self.dropped = 0
         #: Total events ever logged.
         self.logged = 0
+        #: Optional lifecycle tracer: when attached and enabled, kernel
+        #: events are mirrored into the shared trace timeline so ``events``
+        #: output and exported traces tell one story.
+        self._tracer = tracer
+        self._node_id = node_id
 
     def log(self, time: float, code: str, detail: str = "") -> None:
         """Append one event (oldest entry evicted when full)."""
@@ -54,13 +63,24 @@ class EventLog:
             self.dropped += 1
         self._ring.append(KernelEvent(time=time, code=code, detail=detail))
         self.logged += 1
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(f"kernel.{code}", time, node=self._node_id,
+                        detail=detail)
 
     def recent(self, limit: int | None = None) -> list[KernelEvent]:
-        """The most recent events, oldest first."""
+        """The most recent ``limit`` events, oldest first.
+
+        ``limit=None`` returns the whole ring; ``limit=0`` returns an
+        empty list (a ``[-0:]`` slice used to return everything — the
+        one Python slice where "last n" arithmetic betrays you).
+        """
         events = list(self._ring)
-        if limit is not None and limit >= 0:
-            events = events[-limit:]
-        return events
+        if limit is None:
+            return events
+        if limit < 0:
+            raise ValueError(f"event log limit must be >= 0, got {limit}")
+        return events[-limit:] if limit > 0 else []
 
     def clear(self) -> None:
         """Empty the ring (the dropped/logged totals are kept)."""

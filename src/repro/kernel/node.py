@@ -60,7 +60,7 @@ class SensorNode:
         )
         self.memory = MemoryModel()
         self.memory.install("kernel", KERNEL_FLASH_BYTES, KERNEL_RAM_BYTES)
-        self.events = EventLog()
+        self.events = EventLog(tracer=self.env.tracer, node_id=node_id)
         self.threads = ThreadTable(self.env, node_id)
         self.syscalls = SyscallTable()
         self.params = ParameterBuffer()

@@ -8,7 +8,6 @@ Everything the benches and examples build starts from a
 
 from __future__ import annotations
 
-import typing as _t
 from itertools import count
 
 from repro.errors import NoSuchNode
@@ -92,6 +91,11 @@ class Testbed:
         return True
 
     # -- convenience --------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The world's packet-lifecycle tracer (lives on the event loop)."""
+        return self.env.tracer
 
     def install_protocol_everywhere(
         self, protocol_cls: type, **kwargs: object

@@ -9,7 +9,6 @@ executables.
 
 from __future__ import annotations
 
-import typing as _t
 from dataclasses import dataclass
 from itertools import count
 

@@ -57,7 +57,9 @@ class CsmaMac:
         self.xcvr = xcvr
         self.monitor = monitor
         self.node_id = xcvr.node_id
-        self.queue = TxQueue(env, capacity=queue_capacity)
+        self.tracer = env.tracer
+        self.queue = TxQueue(env, capacity=queue_capacity,
+                             tracer=env.tracer, owner=self.node_id)
         self._rng = rng.stream(f"mac.backoff.{self.node_id}")
         self._receive_handler: _t.Callable[[FrameArrival], None] | None = None
         xcvr.set_receive_handler(self._on_arrival)
@@ -80,6 +82,7 @@ class CsmaMac:
         accepted = self.queue.put(frame)
         if not accepted:
             self.monitor.count("mac.queue_drops")
+        self.monitor.observe("mac.queue_occupancy", self.queue.occupancy)
         return accepted
 
     @property
@@ -100,24 +103,47 @@ class CsmaMac:
 
     def _csma_transmit(self, frame: Frame):
         """One CSMA/CA attempt cycle; returns True if the frame aired."""
+        tracer = self.tracer
         be = MIN_BE
-        for _attempt in range(MAX_BACKOFFS + 1):
+        for attempt in range(MAX_BACKOFFS + 1):
             slots = int(self._rng.integers(0, 2 ** be))
+            if tracer.enabled:
+                tracer.emit("mac.backoff", self.env.now, node=self.node_id,
+                            packet=frame.trace_id, attempt=attempt, be=be,
+                            slots=slots)
             yield self.env.timeout(slots * UNIT_BACKOFF)
             if not self.xcvr.enabled:
                 # The radio was switched off while the frame waited; drop
                 # it like the silicon would.
                 self.monitor.count("mac.radio_off_drops")
+                if tracer.enabled:
+                    tracer.emit("mac.drop", self.env.now, node=self.node_id,
+                                packet=frame.trace_id, reason="radio_off")
                 return False
             if not self.medium.cca_busy(self.xcvr):
                 yield self.env.timeout(TURNAROUND)
                 if not self.xcvr.enabled:
                     self.monitor.count("mac.radio_off_drops")
+                    if tracer.enabled:
+                        tracer.emit("mac.drop", self.env.now,
+                                    node=self.node_id,
+                                    packet=frame.trace_id,
+                                    reason="radio_off")
                     return False
+                if tracer.enabled:
+                    tracer.emit("mac.tx", self.env.now, node=self.node_id,
+                                packet=frame.trace_id, dst=frame.dst,
+                                attempts=attempt + 1)
                 yield self.medium.transmit(self.xcvr, frame)
                 return True
             be = min(be + 1, MAX_BE)
             self.monitor.count("mac.busy_assessments")
+            if tracer.enabled:
+                tracer.emit("mac.cca_busy", self.env.now, node=self.node_id,
+                            packet=frame.trace_id, attempt=attempt)
+        if tracer.enabled:
+            tracer.emit("mac.drop", self.env.now, node=self.node_id,
+                        packet=frame.trace_id, reason="cca_exhausted")
         return False
 
     # -- receive path ------------------------------------------------------------

@@ -66,6 +66,11 @@ class Frame:
     #: for the monitor's packet log (the MAC itself never reads it).
     port: int | None = None
     seq: int = field(default_factory=lambda: next(_seq_counter))
+    #: Lifecycle key of the carried packet (``origin:port:seq``), stamped
+    #: by the stack when tracing is enabled so MAC/radio trace events tie
+    #: back to the network packet.  Metadata only — never serialised, and
+    #: deterministic unlike ``seq`` (whose counter is process-global).
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.payload, (bytes, bytearray)):

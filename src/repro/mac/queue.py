@@ -16,13 +16,17 @@ from collections import deque
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
+
 __all__ = ["TxQueue"]
 
 
 class TxQueue:
     """FIFO of frames with event-based consumption and drop accounting."""
 
-    def __init__(self, env: Environment, capacity: int = 8):
+    def __init__(self, env: Environment, capacity: int = 8, *,
+                 tracer: "Tracer | None" = None, owner: int | None = None):
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.env = env
@@ -35,6 +39,9 @@ class TxQueue:
         self.enqueued = 0
         #: High-water mark of the occupancy.
         self.peak_occupancy = 0
+        #: Lifecycle tracer and owning node id (None when untraced).
+        self._tracer = tracer
+        self._owner = owner
 
     @property
     def occupancy(self) -> int:
@@ -48,24 +55,43 @@ class TxQueue:
 
     def put(self, item: object) -> bool:
         """Enqueue ``item``; returns False (and counts a drop) if full."""
+        tracer = self._tracer
         if self._getters:
             # A consumer is already waiting: hand over directly.
             self.enqueued += 1
             self._getters.popleft().succeed(item)
+            if tracer is not None and tracer.enabled:
+                tracer.emit("mac.enqueue", self.env.now, node=self._owner,
+                            packet=getattr(item, "trace_id", None),
+                            occupancy=0)
             return True
         if len(self._items) >= self.capacity:
             self.drops += 1
+            if tracer is not None and tracer.enabled:
+                tracer.emit("mac.queue_drop", self.env.now, node=self._owner,
+                            packet=getattr(item, "trace_id", None),
+                            reason="queue_full", occupancy=len(self._items))
             return False
         self.enqueued += 1
         self._items.append(item)
         self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+        if tracer is not None and tracer.enabled:
+            tracer.emit("mac.enqueue", self.env.now, node=self._owner,
+                        packet=getattr(item, "trace_id", None),
+                        occupancy=len(self._items))
         return True
 
     def get(self) -> Event:
         """An event that yields the next frame (immediately if available)."""
         event = Event(self.env)
         if self._items:
-            event.succeed(self._items.popleft())
+            item = self._items.popleft()
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
+                tracer.emit("mac.dequeue", self.env.now, node=self._owner,
+                            packet=getattr(item, "trace_id", None),
+                            occupancy=len(self._items))
+            event.succeed(item)
         else:
             self._getters.append(event)
         return event

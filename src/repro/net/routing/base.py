@@ -31,6 +31,7 @@ from dataclasses import replace
 from repro.errors import PaddingOverflow
 from repro.net.packet import ANY_NODE, DEFAULT_TTL, Packet
 from repro.net.padding import PAYLOAD_REGION_BYTES
+from repro.obs.trace import packet_trace_id
 from repro.radio.medium import FrameArrival
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -122,12 +123,14 @@ class RoutingProtocol(abc.ABC):
                 # communication protocols": traffic from the neighbor is
                 # ignored outright.
                 monitor.count("routing.blacklist_drops")
+                self._trace_drop(packet, "blacklisted", sender=arrival.sender)
                 return
             if packet.padding_enabled:
                 try:
                     packet.add_hop_quality(arrival.lqi, arrival.rssi)
                 except PaddingOverflow:
                     monitor.count("routing.padding_drops")
+                    self._trace_drop(packet, "padding_overflow")
                     return
         msg_type = packet.payload[0] if packet.payload else MSG_DATA
         if msg_type != MSG_DATA:
@@ -149,6 +152,7 @@ class RoutingProtocol(abc.ABC):
         """Unwrap a DATA packet and dispatch it on its inner port."""
         if len(packet.payload) < ROUTING_OVERHEAD_BYTES:
             self.node.monitor.count("routing.malformed_data")
+            self._trace_drop(packet, "malformed_data")
             return False
         inner = replace(
             packet,
@@ -159,6 +163,12 @@ class RoutingProtocol(abc.ABC):
         delivered = self.node.stack.ports.dispatch(inner, arrival)
         if not delivered:
             self.node.monitor.count("routing.undeliverable")
+        tracer = self.node.env.tracer
+        if tracer.enabled:
+            tracer.emit("route.deliver", self.node.env.now,
+                        node=self.node.id, packet=self._trace_id(packet),
+                        inner_port=inner.port, accepted=delivered,
+                        hop_count=packet.hop_count)
         return delivered
 
     # -- forwarding -----------------------------------------------------------
@@ -167,15 +177,38 @@ class RoutingProtocol(abc.ABC):
         monitor = self.node.monitor
         if packet.ttl == 0:
             monitor.count("routing.ttl_drops")
+            self._trace_drop(packet, "ttl_expired")
             return False
         hop = self.next_hop(packet)
         if hop is None:
             monitor.count("routing.no_route")
+            self._trace_drop(packet, "no_route")
             return False
         outgoing = packet.copy()
         outgoing.ttl -= 1
         outgoing.hop_count += 1
+        tracer = self.node.env.tracer
+        if tracer.enabled:
+            tracer.emit("route.forward", self.node.env.now,
+                        node=self.node.id, packet=self._trace_id(packet),
+                        next_hop=hop, ttl=outgoing.ttl,
+                        hop_count=outgoing.hop_count, protocol=self.name)
         return self.node.stack.send(outgoing, hop, kind=kind)
+
+    # -- tracing helpers ------------------------------------------------------
+
+    def _trace_id(self, packet: Packet) -> str:
+        """Lifecycle key of a routed packet (enabled-path only)."""
+        return packet_trace_id(packet.origin, packet.port, packet.seq)
+
+    def _trace_drop(self, packet: Packet, reason: str,
+                    **detail: object) -> None:
+        """Emit a routing-layer drop event when tracing is on."""
+        tracer = self.node.env.tracer
+        if tracer.enabled:
+            tracer.emit("route.drop", self.node.env.now, node=self.node.id,
+                        packet=self._trace_id(packet), reason=reason,
+                        protocol=self.name, **detail)
 
     def route_next_hop(self, dest: int) -> int | None:
         """Where this protocol would forward a fresh packet for ``dest``.

@@ -73,6 +73,7 @@ class FloodingProtocol(RoutingProtocol):
         if arrival is not None and self.node.neighbors.is_blacklisted(
                 arrival.sender):
             monitor.count("routing.blacklist_drops")
+            self._trace_drop(packet, "blacklisted", sender=arrival.sender)
             return
         msg_type = packet.payload[0] if packet.payload else MSG_DATA
         if msg_type != MSG_DATA:
@@ -80,12 +81,14 @@ class FloodingProtocol(RoutingProtocol):
             return
         if self._already_seen(packet):
             monitor.count("flood.duplicates")
+            self._trace_drop(packet, "duplicate")
             return
         if arrival is not None and packet.padding_enabled:
             try:
                 packet.add_hop_quality(arrival.lqi, arrival.rssi)
             except Exception:
                 monitor.count("routing.padding_drops")
+                self._trace_drop(packet, "padding_overflow")
                 return
         if packet.dest in (self.node.id, ANY_NODE):
             self._deliver(packet, arrival)

@@ -16,13 +16,13 @@ path").
 
 from __future__ import annotations
 
-import typing as _t
 
 from repro.errors import CrcError, HeaderError, PacketError
 from repro.mac.csma import CsmaMac
 from repro.mac.frame import BROADCAST, Frame
 from repro.net.packet import Packet
 from repro.net.ports import PortMap
+from repro.obs.trace import packet_trace_id
 from repro.radio.medium import FrameArrival
 from repro.sim.engine import Environment
 from repro.sim.monitor import Monitor
@@ -38,6 +38,7 @@ class CommunicationStack:
         self.env = env
         self.mac = mac
         self.monitor = monitor
+        self.tracer = env.tracer
         self.node_id = node_id
         self.ports = PortMap()
         mac.set_receive_handler(self._on_frame)
@@ -52,9 +53,17 @@ class CommunicationStack:
         field still names the final destination.  Returns False if the
         MAC queue rejected the frame.
         """
+        tracer = self.tracer
+        trace_id = None
+        if tracer.enabled:
+            trace_id = packet_trace_id(packet.origin, packet.port, packet.seq)
+            tracer.emit("stack.send", self.env.now, node=self.node_id,
+                        packet=trace_id, next_hop=next_hop, traffic=kind,
+                        dest=packet.dest, ttl=packet.ttl,
+                        hop_count=packet.hop_count)
         frame = Frame(
             src=self.node_id, dst=next_hop, payload=packet.to_bytes(),
-            kind=kind, port=packet.port,
+            kind=kind, port=packet.port, trace_id=trace_id,
         )
         self.monitor.count("stack.sent_packets")
         return self.mac.send(frame)
@@ -76,17 +85,33 @@ class CommunicationStack:
 
     def _on_frame(self, arrival: FrameArrival) -> None:
         """CRC-check, parse, and port-match one incoming frame."""
+        tracer = self.tracer
         try:
             packet = Packet.from_bytes(arrival.payload)
         except CrcError:
             self.monitor.count("stack.crc_drops")
+            if tracer.enabled:
+                # The payload is garbage, so the packet id comes from the
+                # frame metadata the sender stamped.
+                tracer.emit("stack.drop", self.env.now, node=self.node_id,
+                            packet=arrival.frame.trace_id,
+                            reason="crc_fail", sender=arrival.sender)
             return
         except (HeaderError, PacketError):
             # A frame can be corrupted into a shape whose CRC accidentally
             # re-validates but whose header is impossible; or genuinely
             # malformed senders exist.  Either way: drop and count.
             self.monitor.count("stack.header_drops")
+            if tracer.enabled:
+                tracer.emit("stack.drop", self.env.now, node=self.node_id,
+                            packet=arrival.frame.trace_id,
+                            reason="header_invalid", sender=arrival.sender)
             return
         self.monitor.count("stack.received_packets")
+        if tracer.enabled:
+            tracer.emit("stack.rx", self.env.now, node=self.node_id,
+                        packet=packet_trace_id(packet.origin, packet.port,
+                                               packet.seq),
+                        sender=arrival.sender, port=packet.port)
         if not self.ports.dispatch(packet, arrival):
             self.monitor.count("stack.unmatched_packets")

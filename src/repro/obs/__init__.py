@@ -1,0 +1,47 @@
+"""Observability: packet-lifecycle tracing, metrics, and profiling.
+
+The diagnosis story of the paper, turned inward on the reproduction
+itself:
+
+* :mod:`repro.obs.trace` — deterministic structured tracing; per-packet
+  lifecycle records and :meth:`~repro.obs.trace.Tracer.explain`, the
+  software analogue of per-hop traceroute reporting.
+* :mod:`repro.obs.metrics` — counters, gauges and percentile histograms
+  behind the :class:`~repro.sim.monitor.Monitor` facade.
+* :mod:`repro.obs.profiler` — opt-in wall-clock hotspot accounting for
+  the event loop.
+* :mod:`repro.obs.export` — JSONL and Chrome ``trace_event`` export.
+
+Import discipline: these modules import nothing from ``repro.sim`` at
+runtime (type hints only), because the sim engine itself instantiates a
+:class:`~repro.obs.trace.Tracer` — observability sits *below* the
+substrate, not above it.
+"""
+
+from repro.obs.export import (
+    metrics_to_json,
+    trace_to_chrome,
+    trace_to_jsonl,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import ProfileEntry, SimProfiler
+from repro.obs.trace import TraceEvent, Tracer, packet_trace_id
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "packet_trace_id",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SimProfiler",
+    "ProfileEntry",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "trace_to_chrome",
+    "write_chrome_trace",
+    "metrics_to_json",
+]

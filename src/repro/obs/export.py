@@ -1,0 +1,98 @@
+"""Export traces and metrics: JSONL and Chrome ``trace_event`` format.
+
+Two formats, two audiences:
+
+* **JSONL** — one JSON object per trace event, stable key order, compact
+  separators.  Byte-identical across same-seed runs, which makes it the
+  format the determinism tests diff and the format to commit as a
+  regression artifact.
+* **Chrome trace_event** — load the file at ``chrome://tracing`` (or
+  Perfetto) to scrub through a simulation visually: rows are nodes,
+  instants are lifecycle events, args carry the detail dict.
+
+Metrics export is a plain JSON dump of the registry snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+__all__ = [
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "trace_to_chrome",
+    "write_chrome_trace",
+    "metrics_to_json",
+]
+
+_COMPACT = {"sort_keys": True, "separators": (",", ":")}
+
+
+def trace_to_jsonl(tracer: "Tracer") -> str:
+    """Serialise every trace event as one JSON line (trailing newline)."""
+    lines = []
+    for event in tracer.events:
+        lines.append(json.dumps(
+            {
+                "time": event.time,
+                "kind": event.kind,
+                "node": event.node,
+                "packet": event.packet,
+                "detail": event.detail,
+            },
+            **_COMPACT,
+        ))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_trace_jsonl(tracer: "Tracer", path: str) -> int:
+    """Write the JSONL export to ``path``; returns the event count."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_to_jsonl(tracer))
+    return len(tracer.events)
+
+
+def trace_to_chrome(tracer: "Tracer") -> dict:
+    """Render the trace in Chrome's ``trace_event`` JSON schema.
+
+    Nodes become pids (so the viewer groups rows per node); each packet
+    gets a small deterministic tid in first-seen order; sim seconds map
+    to microseconds, the unit the schema expects.
+    """
+    packet_tids: dict[str, int] = {}
+    events = []
+    for event in tracer.events:
+        tid = 0
+        if event.packet is not None:
+            tid = packet_tids.setdefault(event.packet,
+                                         len(packet_tids) + 1)
+        args = dict(event.detail)
+        if event.packet is not None:
+            args["packet"] = event.packet
+        events.append({
+            "name": event.kind,
+            "ph": "i",           # instant event
+            "s": "t",            # thread-scoped
+            "ts": round(event.time * 1e6, 3),
+            "pid": event.node if event.node is not None else 0,
+            "tid": tid,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: "Tracer", path: str) -> int:
+    """Write the Chrome trace to ``path``; returns the event count."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace_to_chrome(tracer), fh, **_COMPACT)
+    return len(tracer.events)
+
+
+def metrics_to_json(registry: "MetricsRegistry") -> str:
+    """The registry snapshot as deterministic, indented JSON."""
+    return json.dumps(registry.snapshot(), sort_keys=True, indent=2)

@@ -1,0 +1,229 @@
+"""Metrics registry: counters, gauges, and percentile histograms.
+
+The raw-list series :class:`~repro.sim.monitor.Monitor` keeps are fine
+for regenerating the paper's figures, but diagnosis wants *summaries*:
+"what is the p99 ping RTT", "how full do MAC queues get".  The registry
+is the typed store behind the monitor — the monitor's public API is
+unchanged and delegates here — plus the ``stats`` shell command's data
+source.
+
+Percentiles use the nearest-rank method on the exact sample set (sim
+scale makes keeping samples affordable; there is no bucketing error to
+reason about).  An empty histogram reports ``None`` percentiles rather
+than inventing a value.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: The percentile triple every summary reports.
+SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A set-to-current-value metric (queue depth, table size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Exact-sample histogram with nearest-rank percentiles."""
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / len(self._values) if self._values else None
+
+    @property
+    def min(self) -> float | None:
+        return min(self._values) if self._values else None
+
+    @property
+    def max(self) -> float | None:
+        return max(self._values) if self._values else None
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile ``p`` in [0, 100]; None when empty."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside 0..100")
+        if not self._values:
+            return None
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        if p == 0.0:
+            return self._values[0]
+        rank = math.ceil(p / 100.0 * len(self._values))
+        return self._values[rank - 1]
+
+    def summary(self) -> dict[str, float | int | None]:
+        """count/min/mean/max plus the p50/p90/p99 triple."""
+        out: dict[str, float | int | None] = {
+            "count": self.count, "min": self.min, "mean": self.mean,
+            "max": self.max,
+        }
+        for p in SUMMARY_PERCENTILES:
+            out[f"p{p:g}"] = self.percentile(p)
+        return out
+
+    def values(self) -> list[float]:
+        """The raw samples, in observation order is *not* guaranteed
+        (percentile queries sort in place); use for distribution checks."""
+        return list(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class MetricsRegistry:
+    """Named metrics, one namespace per simulation.
+
+    ``counter``/``gauge``/``histogram`` get-or-create; asking for an
+    existing name as a different type raises — silent type morphing is
+    how dashboards end up lying.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls: type) -> _t.Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def get(self, name: str) -> "Counter | Gauge | Histogram | None":
+        """The metric registered under ``name``, if any (no creation)."""
+        return self._metrics.get(name)
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- bulk views ---------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def counters(self) -> dict[str, int]:
+        return {m.name: m.value for m in self._metrics.values()
+                if isinstance(m, Counter)}
+
+    def gauges(self) -> dict[str, float]:
+        return {m.name: m.value for m in self._metrics.values()
+                if isinstance(m, Gauge)}
+
+    def histograms(self) -> dict[str, Histogram]:
+        return {m.name: m for m in self._metrics.values()
+                if isinstance(m, Histogram)}
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Plain-data dump: {counters: {...}, gauges: {...},
+        histograms: {name: summary}} — JSON-ready."""
+        return {
+            "counters": dict(sorted(self.counters().items())),
+            "gauges": dict(sorted(self.gauges().items())),
+            "histograms": {
+                name: hist.summary()
+                for name, hist in sorted(self.histograms().items())
+            },
+        }
+
+    def render(self) -> str:
+        """ASCII table of everything, for the ``stats`` shell command."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(n) for n in snap["counters"])
+            lines.extend(f"  {name:<{width}}  {value}"
+                         for name, value in snap["counters"].items())
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(n) for n in snap["gauges"])
+            lines.extend(f"  {name:<{width}}  {value:g}"
+                         for name, value in snap["gauges"].items())
+        if snap["histograms"]:
+            lines.append("histograms:"
+                         "               count       min      mean       max"
+                         "       p50       p90       p99")
+            for name, summary in snap["histograms"].items():
+                cells = [f"{summary['count']:>9}"]
+                for key in ("min", "mean", "max", "p50", "p90", "p99"):
+                    value = summary[key]
+                    cells.append("        -" if value is None
+                                 else f"{value:>9.3f}")
+                lines.append(f"  {name:<24}" + " ".join(cells))
+        return "\n".join(lines) if lines else "no metrics recorded"
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry {len(self._metrics)} metrics>"

@@ -127,6 +127,7 @@ class RadioMedium:
     ) -> None:
         self.env = env
         self.monitor = monitor
+        self.tracer = env.tracer
         self.propagation = propagation
         self.rssi_model = RssiModel(rng)
         self.lqi_model = LqiModel(rng)
@@ -259,20 +260,44 @@ class RadioMedium:
 
     def _complete(self, sender: Transceiver, frame: "Frame",
                   tx: _ActiveTransmission) -> None:
-        """End-of-frame: decide every receiver's outcome and deliver."""
+        """End-of-frame: decide every receiver's outcome and deliver.
+
+        When tracing is enabled, the outcome *at the frame's addressed
+        destination* is recorded — including the drop reason when the
+        frame dies in the air, which is the "where did my packet go"
+        answer the lifecycle trace exists to give.  Broadcast frames
+        record only actual receptions (a per-absent-listener drop event
+        for every distant node would bury the timeline).
+        """
+        tracer = self.tracer
+        trace_on = tracer.enabled
         delivered_to_dst = False
         any_delivered = False
         for rid in sorted(tx.rx_powers):
+            is_dst = rid == frame.dst
             receiver = self._xcvrs[rid]
             if not receiver.enabled:
+                if trace_on and is_dst:
+                    tracer.emit("radio.drop", self.env.now, node=rid,
+                                packet=frame.trace_id, reason="radio_off",
+                                sender=tx.sender)
                 continue
             rx_power = tx.rx_powers[rid]
             if rx_power < SENSITIVITY_DBM:
+                if trace_on and is_dst:
+                    tracer.emit("radio.drop", self.env.now, node=rid,
+                                packet=frame.trace_id, reason="out_of_range",
+                                sender=tx.sender,
+                                rx_power_dbm=round(rx_power, 3))
                 continue
             # Half-duplex: a node that transmitted during our airtime
             # cannot have received us.
             if any(o.sender == rid for o in tx.overlapping):
                 self.monitor.count("medium.halfduplex_loss")
+                if trace_on and is_dst:
+                    tracer.emit("radio.drop", self.env.now, node=rid,
+                                packet=frame.trace_id, reason="half_duplex",
+                                sender=tx.sender)
                 continue
             interference = [
                 o.rx_powers[rid]
@@ -300,17 +325,37 @@ class RadioMedium:
                 if (self._corrupt_rng.random()
                         >= self.corrupt_delivery_fraction) or not payload:
                     self.monitor.count("medium.lost_frames")
+                    if trace_on and is_dst:
+                        tracer.emit(
+                            "radio.drop", self.env.now, node=rid,
+                            packet=frame.trace_id,
+                            reason=("collision" if not captured
+                                    else "channel_loss"),
+                            sender=tx.sender, sinr_db=round(sinr, 3),
+                        )
                     continue
                 payload = self._corrupt(payload)
                 crc_ok = False
                 self.monitor.count("medium.corrupted_frames")
 
+            # Draw the PHY observables exactly once: the trace path must
+            # reuse them, not re-sample, or enabling tracing would shift
+            # every later RNG draw and change the simulation.
+            rssi = self.rssi_model.reading(rx_power)
+            lqi = self.lqi_model.reading(sinr)
+            self.monitor.observe("radio.lqi", lqi)
+            if trace_on and (is_dst or frame.is_broadcast):
+                tracer.emit(
+                    "radio.rx", self.env.now, node=rid,
+                    packet=frame.trace_id, sender=tx.sender,
+                    crc_ok=crc_ok, rssi=rssi, lqi=lqi,
+                    sinr_db=round(sinr, 3),
+                )
             arrival = FrameArrival(
                 frame=frame, payload=payload,
                 sender=tx.sender, receiver=rid, channel=tx.channel,
                 rx_power_dbm=rx_power, sinr_db=sinr,
-                rssi=self.rssi_model.reading(rx_power),
-                lqi=self.lqi_model.reading(sinr),
+                rssi=rssi, lqi=lqi,
                 crc_ok=crc_ok, time=self.env.now,
             )
             receiver.deliver(arrival)

@@ -18,8 +18,12 @@ import typing as _t
 from itertools import count
 
 from repro.errors import SimulationError
+from repro.obs.trace import Tracer
 from repro.sim.events import NORMAL, AllOf, AnyOf, Condition, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.profiler import SimProfiler
 
 __all__ = ["Environment", "Infinity"]
 
@@ -35,6 +39,12 @@ class Environment:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Process | None = None
+        #: Structured tracer shared by every subsystem of this world.
+        #: Disabled by default; call sites guard on ``tracer.enabled``.
+        self.tracer = Tracer()
+        #: Opt-in wall-clock profiler (see :mod:`repro.obs.profiler`).
+        #: ``None`` keeps dispatch on the unmeasured fast path.
+        self.profiler: "SimProfiler | None" = None
 
     # -- clock -------------------------------------------------------------
 
@@ -69,7 +79,11 @@ class Environment:
             raise SimulationError("step() on an empty schedule")
         when, _prio, _eid, event = heapq.heappop(self._heap)
         self._now = when
-        event._process()
+        profiler = self.profiler
+        if profiler is None:
+            event._process()
+        else:
+            profiler.measure(event)
         if not event._ok and not event.defused:
             # A failure nobody absorbed: surface it loudly.
             raise event._exc  # type: ignore[misc]

@@ -6,13 +6,22 @@ counts (Fig. 7).  :class:`Monitor` is the single collection point for all
 of them: subsystems increment named counters and append to named series,
 and the analysis layer reads them back without reaching into protocol
 internals.
+
+Storage lives in a :class:`~repro.obs.metrics.MetricsRegistry`: counters
+are registry counters, and every series sample also feeds a same-named
+histogram, so percentile summaries (p50/p90/p99 of RTT, LQI, queue
+occupancy) come for free via :attr:`Monitor.registry` and the ``stats``
+shell command.  The list-of-samples API below is unchanged — existing
+benches and tests read series exactly as before.
 """
 
 from __future__ import annotations
 
 import typing as _t
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 
 __all__ = ["Monitor", "Sample", "PacketRecord"]
 
@@ -54,7 +63,8 @@ class Monitor:
     """Aggregates counters, series and packet logs for one simulation."""
 
     def __init__(self) -> None:
-        self.counters: dict[str, int] = defaultdict(int)
+        #: The typed metrics store behind this facade.
+        self.registry = MetricsRegistry()
         self._series: dict[str, list[Sample]] = defaultdict(list)
         self.packets: list[PacketRecord] = []
 
@@ -62,20 +72,44 @@ class Monitor:
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self.counters[name] += amount
+        self.registry.counter(name).inc(amount)
 
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
-        return self.counters.get(name, 0)
+        metric = self.registry.get(name)
+        return metric.value if isinstance(metric, Counter) else 0
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Snapshot of all counters (read-only view of the registry)."""
+        return self.registry.counters()
 
     # -- series ----------------------------------------------------------------
 
     def record(self, name: str, time: float, value: float,
                **tags: object) -> None:
-        """Append a sample to series ``name``."""
+        """Append a sample to series ``name`` (and its histogram)."""
         self._series[name].append(
             Sample(time=time, value=value, tags=tuple(sorted(tags.items())))
         )
+        self.registry.histogram(name).observe(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed a value to histogram ``name`` without keeping a Sample.
+
+        The cheap path for high-rate observables (per-frame queue
+        occupancy) where only the distribution matters, not the
+        individual time-stamped points.
+        """
+        self.registry.histogram(name).observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram behind series/observations named ``name``."""
+        return self.registry.histogram(name)
+
+    def percentiles(self, name: str) -> dict[str, float | int | None]:
+        """Summary (count/min/mean/max/p50/p90/p99) of ``name``."""
+        return self.registry.histogram(name).summary()
 
     def series(self, name: str) -> list[Sample]:
         """All samples recorded under ``name`` (empty list if none)."""
@@ -112,6 +146,6 @@ class Monitor:
 
     def reset(self) -> None:
         """Clear all collected data (counters, series and packet log)."""
-        self.counters.clear()
+        self.registry.reset()
         self._series.clear()
         self.packets.clear()

@@ -5,7 +5,6 @@ import struct
 import pytest
 
 from repro.core.wire import MsgType
-from repro.errors import CommandTimeout
 
 
 def test_group_call_waits_full_window(chain_deployment):

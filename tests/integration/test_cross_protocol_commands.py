@@ -9,7 +9,6 @@ from repro.net import (
     DsdvRouting,
     GeographicForwarding,
     TreeRouting,
-    WellKnownPorts,
 )
 from repro.workloads import build_chain
 from repro.workloads.scenarios import QUIET_PROPAGATION

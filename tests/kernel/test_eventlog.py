@@ -31,6 +31,28 @@ def test_recent_limit():
     assert [e.code for e in log.recent(2)] == ["e3", "e4"]
 
 
+def test_recent_limit_zero_is_empty():
+    """Regression: ``events[-0:]`` is the whole list, so limit=0 used to
+    return the entire ring instead of nothing."""
+    log = EventLog(capacity=8)
+    for i in range(5):
+        log.log(float(i), f"e{i}")
+    assert log.recent(0) == []
+
+
+def test_recent_negative_limit_raises():
+    log = EventLog(capacity=8)
+    log.log(0.0, "x")
+    with pytest.raises(ValueError):
+        log.recent(-1)
+
+
+def test_recent_limit_beyond_length_returns_all():
+    log = EventLog(capacity=8)
+    log.log(0.0, "x")
+    assert [e.code for e in log.recent(100)] == ["x"]
+
+
 def test_clear_keeps_totals():
     log = EventLog(capacity=4)
     log.log(0.0, "x")
@@ -60,6 +82,22 @@ def test_kernel_services_log_events():
     assert "radio.power" in codes
     assert "neighbor.blacklist" in codes
     assert "neighbor.beacon_interval" in codes
+
+
+def test_kernel_events_route_to_tracer_when_enabled():
+    tb = Testbed(seed=1)
+    node = tb.add_node("a", (0, 0))
+    node.syscalls.invoke("radio_set_power", 10)  # before enable: not traced
+    tb.tracer.enable()
+    node.syscalls.invoke("radio_set_channel", 20)
+    node.neighbors.blacklist(7)
+    kinds = [(e.kind, e.node) for e in tb.tracer.events
+             if e.kind.startswith("kernel.")]
+    assert ("kernel.radio.channel", node.id) in kinds
+    assert ("kernel.neighbor.blacklist", node.id) in kinds
+    assert all(kind != "kernel.radio.power" for kind, _ in kinds)
+    # The ring itself still has everything.
+    assert "radio.power" in [e.code for e in node.events.recent()]
 
 
 def test_event_log_syscall():

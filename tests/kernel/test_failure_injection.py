@@ -16,7 +16,6 @@ def test_fail_silences_node():
     tb = dep.testbed
     tb.node(2).fail()
     assert not tb.node(2).is_up
-    before = tb.monitor.counter("neighbors.beacons_sent")
     sent_by_2 = sum(1 for r in tb.monitor.packets if r.sender == 2)
     tb.warm_up(10.0)
     assert sum(1 for r in tb.monitor.packets if r.sender == 2) == sent_by_2

@@ -1,7 +1,5 @@
 """Unit tests for the CSMA/CA MAC."""
 
-import pytest
-
 from repro.mac import BROADCAST, CsmaMac, Frame
 from repro.radio import RadioConfig
 

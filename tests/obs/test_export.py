@@ -1,0 +1,68 @@
+"""Trace export formats: JSONL files and Chrome trace_event JSON."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    trace_to_chrome,
+    trace_to_jsonl,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+
+
+def make_tracer():
+    tracer = Tracer()
+    tracer.emit("stack.send", 1.0, node=1, packet="1:10:1", dest=4)
+    tracer.emit("radio.rx", 1.5, node=2, packet="1:10:1", rssi=-48)
+    tracer.emit("stack.send", 2.0, node=2, packet="2:10:1", dest=4)
+    tracer.emit("kernel.radio.power", 2.5, node=3)  # packetless
+    return tracer
+
+
+def test_empty_tracer_exports_empty_string_and_empty_event_list():
+    tracer = Tracer()
+    assert trace_to_jsonl(tracer) == ""
+    assert trace_to_chrome(tracer) == {"traceEvents": [],
+                                       "displayTimeUnit": "ms"}
+
+
+def test_jsonl_round_trips_every_field():
+    tracer = make_tracer()
+    records = [json.loads(line)
+               for line in trace_to_jsonl(tracer).splitlines()]
+    assert len(records) == 4
+    assert records[0] == {"time": 1.0, "kind": "stack.send", "node": 1,
+                          "packet": "1:10:1", "detail": {"dest": 4}}
+    assert records[3]["packet"] is None
+
+
+def test_write_trace_jsonl_returns_count(tmp_path):
+    tracer = make_tracer()
+    path = tmp_path / "trace.jsonl"
+    assert write_trace_jsonl(tracer, str(path)) == 4
+    assert len(path.read_text().splitlines()) == 4
+
+
+def test_chrome_trace_assigns_deterministic_tids():
+    doc = trace_to_chrome(make_tracer())
+    events = doc["traceEvents"]
+    assert [e["name"] for e in events] == [
+        "stack.send", "radio.rx", "stack.send", "kernel.radio.power"]
+    # Packets get small tids in first-seen order; packetless events tid 0.
+    assert [e["tid"] for e in events] == [1, 1, 2, 0]
+    assert [e["pid"] for e in events] == [1, 2, 2, 3]
+    # Sim seconds -> microseconds.
+    assert events[1]["ts"] == 1.5e6
+    # The packet id rides in args so the viewer shows it.
+    assert events[0]["args"]["packet"] == "1:10:1"
+    assert events[0]["args"]["dest"] == 4
+    assert "packet" not in events[3]["args"]
+    assert all(e["ph"] == "i" for e in events)
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    path = tmp_path / "trace.json"
+    assert write_chrome_trace(make_tracer(), str(path)) == 4
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == 4

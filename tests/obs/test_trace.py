@@ -1,0 +1,216 @@
+"""Packet-lifecycle tracing: unit behavior plus the acceptance scenario.
+
+The acceptance scenario is the ISSUE's bar: in a seeded multi-hop chain,
+``Tracer.explain`` must reconstruct the full lifecycle of a dropped
+packet — naming the hop where it died and the drop reason — and two
+same-seed runs must export byte-identical traces.
+"""
+
+import json
+
+import pytest
+
+from repro.core.deploy import deploy_liteview
+from repro.obs import Tracer, packet_trace_id, trace_to_jsonl
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+# -- unit: ids, emit, outcome, explain ----------------------------------------
+
+
+def test_packet_trace_id_is_origin_port_seq():
+    assert packet_trace_id(3, 10, 41) == "3:10:41"
+
+
+def test_tracer_starts_disabled_and_empty():
+    tracer = Tracer()
+    assert not tracer.enabled
+    assert len(tracer) == 0
+    assert tracer.last_packet_id is None
+
+
+def test_emit_indexes_by_packet_and_tracks_last():
+    tracer = Tracer()
+    tracer.enable()
+    tracer.emit("stack.send", 1.0, node=1, packet="1:10:1", dest=4)
+    tracer.emit("mac.tx", 1.5, node=1, packet="1:10:1")
+    tracer.emit("radio.rx", 2.0, node=2, packet="2:12:7")
+    tracer.emit("neighbors.beacon", 2.5, node=3)  # packetless event
+    assert len(tracer) == 4
+    assert [e.kind for e in tracer.lifecycle("1:10:1")] == [
+        "stack.send", "mac.tx"]
+    assert tracer.packet_ids() == ["1:10:1", "2:12:7"]
+    assert tracer.last_packet_id == "2:12:7"  # packetless emit doesn't move it
+
+
+def test_clear_keeps_enabled_flag():
+    tracer = Tracer()
+    tracer.enable()
+    tracer.emit("x", 0.0, packet="a")
+    tracer.clear()
+    assert tracer.enabled
+    assert len(tracer) == 0
+    assert tracer.lifecycle("a") == []
+    assert tracer.last_packet_id is None
+
+
+def test_outcome_classification():
+    tracer = Tracer()
+    tracer.emit("stack.send", 0.0, packet="p")
+    tracer.emit("route.deliver", 1.0, node=4, packet="p")
+    assert tracer.outcome("p")[0] == "delivered"
+
+    tracer.emit("stack.send", 0.0, packet="q")
+    tracer.emit("route.drop", 1.0, node=2, packet="q", reason="no_route")
+    verdict, decider = tracer.outcome("q")
+    assert verdict == "dropped"
+    assert decider.detail["reason"] == "no_route"
+
+    tracer.emit("mac.tx", 0.0, packet="r")
+    assert tracer.outcome("r")[0] == "in-flight"
+    assert tracer.outcome("never-seen")[0] == "unknown"
+
+
+def test_delivery_wins_over_later_drop():
+    """A broadcast can be delivered at one node and TTL-die at another;
+    the verdict the end user cares about is the delivery."""
+    tracer = Tracer()
+    tracer.emit("route.deliver", 1.0, node=4, packet="p")
+    tracer.emit("route.drop", 2.0, node=5, packet="p", reason="ttl_expired")
+    assert tracer.outcome("p")[0] == "delivered"
+
+
+def test_explain_unknown_packet_is_a_message_not_an_error():
+    assert "no trace for packet" in Tracer().explain("9:9:9")
+
+
+def test_render_includes_time_node_and_detail():
+    event_line = Tracer()
+    event_line.emit("mac.tx", 1.25, node=3, packet="p", dst=4, attempts=1)
+    [event] = event_line.events
+    rendered = event.render()
+    assert "node 3" in rendered
+    assert "mac.tx" in rendered
+    assert "dst=4" in rendered
+    assert "attempts=1" in rendered
+
+
+# -- acceptance: dropped packet in a seeded multi-hop chain -------------------
+
+
+def run_ttl_drop_scenario():
+    """4-node chain, deterministic propagation; node 1 sends to node 4
+    with ttl=1 so the packet must die at node 2 with ttl_expired."""
+    testbed = build_chain(4, spacing=60.0, seed=2,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    deploy_liteview(testbed, warm_up=15.0)
+    testbed.tracer.enable()
+    src = testbed.node("192.168.0.1")
+    dst = testbed.node("192.168.0.4")
+    src.protocol_on(10).send(dst.id, 40, b"probe", ttl=1)
+    testbed.run(until=testbed.env.now + 2.0)
+    return testbed
+
+
+@pytest.fixture(scope="module")
+def ttl_drop_testbed():
+    return run_ttl_drop_scenario()
+
+
+def test_explain_reconstructs_dropped_packet_lifecycle(ttl_drop_testbed):
+    tracer = ttl_drop_testbed.tracer
+    drops = [e for e in tracer.events
+             if e.kind == "route.drop"
+             and e.detail.get("reason") == "ttl_expired"]
+    assert drops, "the ttl=1 packet must have died of ttl_expired"
+    packet_id = drops[0].packet
+
+    story = tracer.explain(packet_id)
+    header = story.splitlines()[0]
+    # The header names the verdict, the hop, and the reason.
+    assert "dropped at node 2" in header
+    assert "ttl_expired" in header
+
+    # The body walks the full lifecycle in order: send at node 1,
+    # through the MAC, over the air, received and killed at node 2.
+    kinds = [e.kind for e in tracer.lifecycle(packet_id)]
+    for earlier, later in zip(
+        ("stack.send", "mac.enqueue", "mac.tx", "radio.rx",
+         "stack.rx", "route.drop"),
+        ("mac.enqueue", "mac.tx", "radio.rx", "stack.rx", "route.drop"),
+    ):
+        assert kinds.index(earlier) < kinds.index(later), kinds
+
+    send = next(e for e in tracer.lifecycle(packet_id)
+                if e.kind == "stack.send")
+    assert send.node == 1
+    drop = drops[0]
+    assert drop.node == 2
+
+
+def test_outcome_of_ttl_drop_is_dropped(ttl_drop_testbed):
+    tracer = ttl_drop_testbed.tracer
+    drop = next(e for e in tracer.events
+                if e.kind == "route.drop"
+                and e.detail.get("reason") == "ttl_expired")
+    verdict, decider = tracer.outcome(drop.packet)
+    assert verdict == "dropped"
+    assert decider.node == 2
+
+
+def test_same_seed_runs_export_byte_identical_traces(ttl_drop_testbed):
+    first = trace_to_jsonl(ttl_drop_testbed.tracer)
+    second = trace_to_jsonl(run_ttl_drop_scenario().tracer)
+    assert first == second
+    assert first  # the scenario must actually trace something
+
+
+def test_jsonl_lines_parse_and_carry_sim_time_only(ttl_drop_testbed):
+    text = trace_to_jsonl(ttl_drop_testbed.tracer)
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    assert len(lines) == len(ttl_drop_testbed.tracer.events)
+    for line in lines:
+        record = json.loads(line)
+        assert set(record) == {"time", "kind", "node", "packet", "detail"}
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    """Enabling tracing must not consume RNG or change event order:
+    the traced and untraced runs of one seed are the same run."""
+
+    def monitor_fingerprint(traced):
+        testbed = build_chain(4, spacing=60.0, seed=2,
+                              propagation_kwargs=QUIET_PROPAGATION)
+        deploy_liteview(testbed, warm_up=15.0)
+        if traced:
+            testbed.tracer.enable()
+        src = testbed.node("192.168.0.1")
+        src.protocol_on(10).send(testbed.node("192.168.0.4").id, 40,
+                                 b"probe", ttl=8)
+        testbed.run(until=testbed.env.now + 5.0)
+        return (testbed.env.now, dict(testbed.monitor.counters),
+                len(testbed.monitor.packets))
+
+    assert monitor_fingerprint(traced=False) == monitor_fingerprint(
+        traced=True)
+
+
+def test_delivered_packet_traces_to_route_deliver():
+    testbed = build_chain(3, spacing=40.0, seed=3,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    deploy_liteview(testbed, warm_up=15.0)
+    testbed.tracer.enable()
+    src = testbed.node("192.168.0.1")
+    dst = testbed.node("192.168.0.3")
+    src.protocol_on(10).send(dst.id, 40, b"hello", ttl=8)
+    testbed.run(until=testbed.env.now + 5.0)
+
+    delivers = [e for e in testbed.tracer.events
+                if e.kind == "route.deliver" and e.node == dst.id]
+    assert delivers
+    verdict, decider = testbed.tracer.outcome(delivers[0].packet)
+    assert verdict == "delivered"
+    assert decider.node == dst.id
+    assert "delivered to node 3" in testbed.tracer.explain(
+        delivers[0].packet).splitlines()[0]

@@ -6,9 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import InvalidChannel, InvalidPowerLevel
 from repro.radio import (
-    MAX_CHANNEL,
     MAX_POWER_LEVEL,
-    MIN_CHANNEL,
     MIN_POWER_LEVEL,
     NUM_CHANNELS,
     RadioConfig,

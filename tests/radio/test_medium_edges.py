@@ -1,8 +1,6 @@
 """Edge-case tests for the medium: channel hopping, ambient sampling,
 mobility."""
 
-import pytest
-
 from repro.mac.frame import BROADCAST, Frame
 from repro.radio import NOISE_FLOOR_DBM, RadioConfig
 

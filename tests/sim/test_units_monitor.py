@@ -84,6 +84,31 @@ def test_packet_count_filters():
                             predicate=lambda r: r.delivered) == 1
 
 
+def test_packet_count_predicate_without_kind():
+    mon = Monitor()
+    for i in range(4):
+        mon.log_packet(PacketRecord(
+            time=float(i), sender=1, receiver=2, kind="data", port=None,
+            size_bytes=10 * (i + 1), delivered=True,
+        ))
+    assert mon.packet_count(predicate=lambda r: r.size_bytes > 20) == 2
+
+
+def test_packet_count_unmatched_kind_is_zero():
+    mon = Monitor()
+    mon.log_packet(PacketRecord(time=0.0, sender=1, receiver=2,
+                                kind="ping", port=None, size_bytes=1,
+                                delivered=True))
+    assert mon.packet_count(kind="beacon") == 0
+    assert mon.packet_count(kind="ping",
+                            predicate=lambda r: not r.delivered) == 0
+
+
+def test_packet_count_empty_log():
+    assert Monitor().packet_count() == 0
+    assert Monitor().packet_count(kind="ping") == 0
+
+
 def test_reset_clears_everything():
     mon = Monitor()
     mon.count("x")
