@@ -11,7 +11,7 @@ import numpy as np
 from repro.core.deploy import deploy_liteview
 from repro.radio import packet_reception_ratio
 from repro.sim import Environment
-from repro.workloads import thirty_node_field
+from repro.workloads import hundred_node_field, thirty_node_field
 
 
 def test_event_loop_throughput(benchmark):
@@ -42,6 +42,23 @@ def test_thirty_node_minute_of_beacons(benchmark):
 
     transmissions = benchmark.pedantic(run, rounds=2, iterations=1)
     assert transmissions > 500  # ~30 nodes x 30 beacons
+
+
+def test_hundred_node_minute_of_beacons(benchmark):
+    """One simulated minute at 10x the paper's node count.
+
+    The scale the vectorized medium exists for: ~100 candidate receivers
+    per transmission, thousands of transmissions.  Runs to completion in
+    CI smoke mode (``--benchmark-disable``) as the interactivity gate.
+    """
+
+    def run():
+        testbed = hundred_node_field(seed=3)
+        deploy_liteview(testbed, warm_up=60.0)
+        return testbed.monitor.counter("medium.transmissions")
+
+    transmissions = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert transmissions > 2000  # ~100 nodes x 30 beacons
 
 
 def test_vectorised_prr_batch(benchmark):

@@ -30,6 +30,7 @@ __all__ = ["NeighborEntry", "NeighborTable", "DEFAULT_BEACON_INTERVAL"]
 DEFAULT_BEACON_INTERVAL = 2.0
 
 _BEACON_FMT = ">ffB"  # x, y, name length; name bytes follow
+_BEACON_HEADER_BYTES = struct.calcsize(_BEACON_FMT)
 
 
 @dataclass
@@ -202,8 +203,7 @@ class NeighborTable:
         try:
             x, y, name_len = struct.unpack_from(_BEACON_FMT, packet.payload)
             name = packet.payload[
-                struct.calcsize(_BEACON_FMT):
-                struct.calcsize(_BEACON_FMT) + name_len
+                _BEACON_HEADER_BYTES:_BEACON_HEADER_BYTES + name_len
             ].decode("utf-8")
         except (struct.error, UnicodeDecodeError):
             self.node.monitor.count("neighbors.malformed_beacons")

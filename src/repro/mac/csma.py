@@ -111,7 +111,9 @@ class CsmaMac:
                 tracer.emit("mac.backoff", self.env.now, node=self.node_id,
                             packet=frame.trace_id, attempt=attempt, be=be,
                             slots=slots)
-            yield self.env.timeout(slots * UNIT_BACKOFF)
+            # Pooled: the backoff delay is yielded and forgotten, so the
+            # event object can be recycled by the engine.
+            yield self.env.pooled_timeout(slots * UNIT_BACKOFF)
             if not self.xcvr.enabled:
                 # The radio was switched off while the frame waited; drop
                 # it like the silicon would.
@@ -121,7 +123,7 @@ class CsmaMac:
                                 packet=frame.trace_id, reason="radio_off")
                 return False
             if not self.medium.cca_busy(self.xcvr):
-                yield self.env.timeout(TURNAROUND)
+                yield self.env.pooled_timeout(TURNAROUND)
                 if not self.xcvr.enabled:
                     self.monitor.count("mac.radio_off_drops")
                     if tracer.enabled:

@@ -143,13 +143,28 @@ class Packet:
                 f"length mismatch: header promises {expected} B, got "
                 f"{len(body)} B"
             )
+        if payload_len > PAYLOAD_REGION_BYTES:
+            raise HeaderError(
+                f"payload {payload_len} B exceeds the "
+                f"{PAYLOAD_REGION_BYTES} B payload region"
+            )
         payload = body[HEADER_BYTES:HEADER_BYTES + payload_len]
         pad_bytes = body[HEADER_BYTES + payload_len:]
-        return cls(
-            port=port, origin=origin, dest=dest, payload=payload, seq=seq,
-            ttl=ttl, padding_enabled=bool(flags & _FLAG_PADDING),
-            hop_count=hop_count, hop_quality=decode_entries(pad_bytes),
-        )
+        # Every field came out of a fixed-width wire slot, so the range
+        # checks __post_init__ performs cannot fail here (the payload
+        # region is the one exception, checked above); building the
+        # instance directly skips them on the per-frame receive path.
+        packet = cls.__new__(cls)
+        packet.port = port
+        packet.origin = origin
+        packet.dest = dest
+        packet.payload = payload
+        packet.seq = seq
+        packet.ttl = ttl
+        packet.padding_enabled = bool(flags & _FLAG_PADDING)
+        packet.hop_count = hop_count
+        packet.hop_quality = decode_entries(pad_bytes)
+        return packet
 
     @property
     def wire_size(self) -> int:

@@ -105,6 +105,13 @@ class RadioConfig:
     power_level: int = MAX_POWER_LEVEL
     channel: int = 17  # the channel used in the paper's sample output
 
+    # Not dataclass fields: the medium installs ``_listener`` at attach
+    # time so channel hops invalidate its per-channel receiver index, and
+    # ``_tx_power_dbm`` caches the interpolated PA conversion (the medium
+    # reads it on every transmit).
+    _listener = None
+    _tx_power_dbm = power_level_to_dbm(MAX_POWER_LEVEL)
+
     def __post_init__(self) -> None:
         self.set_power_level(self.power_level)
         self.set_channel(self.channel)
@@ -119,6 +126,7 @@ class RadioConfig:
                 f"{MIN_POWER_LEVEL}..{MAX_POWER_LEVEL}"
             )
         self.power_level = level
+        self._tx_power_dbm = power_level_to_dbm(level)
 
     def set_channel(self, channel: int) -> None:
         """Set the channel, validating the 802.15.4 range."""
@@ -129,11 +137,13 @@ class RadioConfig:
                 f"channel {channel} outside {MIN_CHANNEL}..{MAX_CHANNEL}"
             )
         self.channel = channel
+        if self._listener is not None:
+            self._listener()
 
     @property
     def tx_power_dbm(self) -> float:
         """Transmit power implied by the current PA level."""
-        return power_level_to_dbm(self.power_level)
+        return self._tx_power_dbm
 
     @property
     def frequency_mhz(self) -> float:

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.sim.rng import RngRegistry
 
 __all__ = ["LQI_MIN", "LQI_MAX", "LqiModel", "lqi_from_sinr"]
@@ -51,3 +53,20 @@ class LqiModel:
         if self.noise_sigma > 0:
             value += float(self._rng.normal(0.0, self.noise_sigma))
         return int(min(LQI_MAX, max(LQI_MIN, round(value))))
+
+    def readings(self, sinrs_db: np.ndarray) -> list[int]:
+        """LQI values for many frames, one batched noise draw.
+
+        Stream-equivalent to ``len(sinrs_db)`` scalar :meth:`reading`
+        calls (a Generator fills arrays from the same bitstream), and the
+        sigmoid is evaluated with ``math.exp`` per element so the values
+        match the scalar path bit-for-bit.
+        """
+        n = len(sinrs_db)
+        if n == 0:
+            return []
+        values = [lqi_from_sinr(s) for s in np.asarray(sinrs_db).tolist()]
+        if self.noise_sigma > 0:
+            noise = self._rng.normal(0.0, self.noise_sigma, size=n)
+            values = [v + float(d) for v, d in zip(values, noise)]
+        return [int(min(LQI_MAX, max(LQI_MIN, round(v)))) for v in values]

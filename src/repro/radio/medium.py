@@ -13,12 +13,33 @@ simulated testbed flows.  For each transmission it:
 4. stamps each delivery with the receiver-side observables LiteView
    collects: RSSI register reading and LQI; and
 5. logs every transmission to the monitor (Figure 7 counts these).
+
+Hot-path design
+---------------
+Every transmission used to walk all attached transceivers and make a
+per-receiver chain of scalar propagation and RNG calls; at 100 nodes that
+is the whole simulation's wall clock.  The medium now keeps
+
+* a master pairwise distance matrix over all attached nodes, rebuilt only
+  when a node attaches or moves;
+* a per-channel receiver index (sorted ids, transceivers, master-matrix
+  rows), rebuilt only when membership or a channel assignment changes;
+* a per-(sender, channel) mean-loss row — deterministic path loss plus
+  static shadowing — invalidated by the propagation model's shadowing
+  epoch, so pinned links take effect;
+
+and draws fading, reception, RSSI, and LQI as *batched* RNG calls.  A
+numpy Generator fills an array from the same bitstream as repeated scalar
+draws, and the batches run in the same sorted-id order the scalar loops
+used, so seeded runs stay bit-for-bit identical — the determinism tests
+hold golden counters captured before this rewrite.
 """
 
 from __future__ import annotations
 
 import typing as _t
-from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import RadioError
 from repro.radio.cc2420 import (
@@ -29,7 +50,7 @@ from repro.radio.cc2420 import (
 )
 from repro.radio.lqi import LqiModel
 from repro.radio.modulation import packet_reception_ratio
-from repro.radio.propagation import LogDistancePropagation
+from repro.radio.propagation import LogDistancePropagation, distance_matrix
 from repro.radio.rssi import RssiModel
 from repro.sim.engine import Environment
 from repro.sim.events import Event
@@ -49,37 +70,74 @@ __all__ = ["FrameArrival", "Transceiver", "RadioMedium", "CAPTURE_THRESHOLD_DB"]
 #: the standard fix (cf. the capture-effect literature for CC2420).
 CAPTURE_THRESHOLD_DB = 4.0
 
+#: ``dbm_sum(NOISE_FLOOR_DBM)`` with no interferers round-trips to exactly
+#: the noise floor; precomputing it keeps the no-interference SINR
+#: identical to the historical per-receiver call while skipping it.
+_NOISE_ONLY_DBM = dbm_sum(NOISE_FLOOR_DBM)
 
-@dataclass(frozen=True)
+# Per-receiver outcome codes used inside RadioMedium._complete.
+_SKIP, _OFF, _RANGE, _HD, _LOST, _CORRUPT, _OK = range(7)
+
+
+@_t.final
 class FrameArrival:
     """A frame as seen by one receiver, with PHY observables attached."""
 
-    frame: "Frame"
-    payload: bytes          # possibly corrupted copy of frame.payload
-    sender: int
-    receiver: int
-    channel: int
-    rx_power_dbm: float
-    sinr_db: float
-    rssi: int               # RSSI register reading
-    lqi: int                # LQI correlator value
-    crc_ok: bool            # whether the payload survived intact
-    time: float
+    __slots__ = (
+        "frame", "payload", "sender", "receiver", "channel",
+        "rx_power_dbm", "sinr_db", "rssi", "lqi", "crc_ok", "time",
+    )
+
+    def __init__(self, frame: "Frame", payload: bytes, sender: int,
+                 receiver: int, channel: int, rx_power_dbm: float,
+                 sinr_db: float, rssi: int, lqi: int, crc_ok: bool,
+                 time: float) -> None:
+        self.frame = frame
+        self.payload = payload          # possibly corrupted copy
+        self.sender = sender
+        self.receiver = receiver
+        self.channel = channel
+        self.rx_power_dbm = rx_power_dbm
+        self.sinr_db = sinr_db
+        self.rssi = rssi                # RSSI register reading
+        self.lqi = lqi                  # LQI correlator value
+        self.crc_ok = crc_ok            # whether the payload survived
+        self.time = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrameArrival(sender={self.sender}, receiver={self.receiver}, "
+            f"channel={self.channel}, rssi={self.rssi}, lqi={self.lqi}, "
+            f"crc_ok={self.crc_ok}, time={self.time})"
+        )
 
 
 class Transceiver:
     """One node's radio front end, attached to the shared medium."""
 
+    __slots__ = ("medium", "node_id", "_position", "config", "enabled",
+                 "_receive_handler", "_transmitting_until")
+
     def __init__(self, medium: "RadioMedium", node_id: int,
                  position: tuple[float, float], config: RadioConfig):
         self.medium = medium
         self.node_id = node_id
-        self.position = (float(position[0]), float(position[1]))
+        self._position = (float(position[0]), float(position[1]))
         self.config = config
         #: Radio on/off; an off radio neither receives nor carrier-senses.
         self.enabled = True
         self._receive_handler: _t.Callable[[FrameArrival], None] | None = None
         self._transmitting_until = -1.0
+
+    @property
+    def position(self) -> tuple[float, float]:
+        return self._position
+
+    @position.setter
+    def position(self, value: tuple[float, float]) -> None:
+        self._position = (float(value[0]), float(value[1]))
+        # Moving a node changes every pairwise distance through it.
+        self.medium._invalidate_topology()
 
     def set_receive_handler(
         self, handler: _t.Callable[[FrameArrival], None]
@@ -98,19 +156,63 @@ class Transceiver:
             self._receive_handler(arrival)
 
 
-@dataclass
+class _ChannelIndex:
+    """Snapshot of one channel's membership: who could hear a frame.
+
+    ``ids`` is sorted ascending (the medium's draw-order contract) and
+    includes the sender of any transmission on the channel; ``master_rows``
+    maps each member to its row in the medium's pairwise distance matrix.
+    """
+
+    __slots__ = ("channel", "token", "ids", "id_arr", "offset_of",
+                 "xcvrs", "master_rows")
+
+    def __init__(self, channel: int, token: tuple[int, int], ids: list[int],
+                 xcvrs: list[Transceiver], master_rows: np.ndarray) -> None:
+        self.channel = channel
+        self.token = token
+        self.ids = ids
+        self.id_arr = np.array(ids, dtype=np.int64)
+        self.offset_of = {nid: off for off, nid in enumerate(ids)}
+        self.xcvrs = xcvrs
+        self.master_rows = master_rows
+
+
 class _ActiveTransmission:
     """Bookkeeping for one in-flight frame."""
 
-    sender: int
-    channel: int
-    tx_power_dbm: float
-    start: float
-    end: float
-    #: Received power at every same-channel transceiver, drawn at start.
-    rx_powers: dict[int, float]
-    #: Other transmissions whose airtime overlaps ours.
-    overlapping: list["_ActiveTransmission"] = field(default_factory=list)
+    __slots__ = ("sender", "channel", "tx_power_dbm", "start", "end",
+                 "index", "rx", "rx_list", "overlapping", "overlap_senders")
+
+    def __init__(self, sender: int, channel: int, tx_power_dbm: float,
+                 start: float, end: float, index: _ChannelIndex,
+                 rx: np.ndarray) -> None:
+        self.sender = sender
+        self.channel = channel
+        self.tx_power_dbm = tx_power_dbm
+        self.start = start
+        self.end = end
+        #: Channel membership and received powers, snapshotted at
+        #: start-of-frame (a receiver hopping away mid-frame still gets
+        #: the frame; one hopping in never does — as before).
+        self.index = index
+        self.rx = rx
+        self.rx_list: list[float] = rx.tolist()
+        #: Same-channel transmissions whose airtime overlaps ours
+        #: (interference), and the senders of *any* overlapping
+        #: transmission (half-duplex: a transmitting radio cannot hear).
+        self.overlapping: list["_ActiveTransmission"] = []
+        self.overlap_senders: set[int] = set()
+
+    def power_at(self, rid: int) -> float | None:
+        """Received power drawn for ``rid``, or None if it was not on the
+        channel at start-of-frame (or is the sender itself)."""
+        if rid == self.sender:
+            return None
+        off = self.index.offset_of.get(rid)
+        if off is None:
+            return None
+        return self.rx_list[off]
 
 
 class RadioMedium:
@@ -138,6 +240,18 @@ class RadioMedium:
         #: Fraction of failed receptions delivered as corrupted bytes (so
         #: the stack's CRC checker sees real work) rather than silence.
         self.corrupt_delivery_fraction = float(corrupt_delivery_fraction)
+        # -- cached vectorized state (see module docstring) -------------
+        self._topo_version = 0       # bumped on attach / reposition
+        self._chan_version = 0       # bumped on any channel change
+        self._master_version = -1    # _topo_version the master reflects
+        self._ids: list[int] = []
+        self._index_of: dict[int, int] = {}
+        self._dist = np.zeros((0, 0))
+        self._chan_cache: dict[int, _ChannelIndex] = {}
+        self._row_cache: dict[
+            tuple[int, int],
+            tuple[_ChannelIndex, int, np.ndarray, np.ndarray],
+        ] = {}
 
     # -- membership --------------------------------------------------------
 
@@ -148,6 +262,8 @@ class RadioMedium:
             raise RadioError(f"node {node_id} already attached to the medium")
         xcvr = Transceiver(self, node_id, position, config or RadioConfig())
         self._xcvrs[node_id] = xcvr
+        xcvr.config._listener = self._invalidate_channels
+        self._invalidate_topology()
         return xcvr
 
     def transceiver(self, node_id: int) -> Transceiver:
@@ -158,13 +274,87 @@ class RadioMedium:
             raise RadioError(f"node {node_id} not attached") from None
 
     def distance(self, a: int, b: int) -> float:
-        """Euclidean distance between two attached nodes."""
-        pa, pb = self._xcvrs[a].position, self._xcvrs[b].position
-        return ((pa[0] - pb[0]) ** 2 + (pa[1] - pb[1]) ** 2) ** 0.5
+        """Euclidean distance between two attached nodes (from the cached
+        pairwise matrix)."""
+        self._ensure_master()
+        return float(self._dist[self._index_of[a], self._index_of[b]])
 
     def node_ids(self) -> list[int]:
         """Sorted ids of all attached nodes."""
         return sorted(self._xcvrs)
+
+    # -- cache maintenance -------------------------------------------------
+
+    def _invalidate_topology(self) -> None:
+        self._topo_version += 1
+
+    def _invalidate_channels(self) -> None:
+        self._chan_version += 1
+
+    def _ensure_master(self) -> None:
+        """Rebuild the sorted-id roster and distance matrix if stale."""
+        if self._master_version == self._topo_version:
+            return
+        ids = sorted(self._xcvrs)
+        self._ids = ids
+        self._index_of = {nid: row for row, nid in enumerate(ids)}
+        if ids:
+            positions = np.array(
+                [self._xcvrs[nid]._position for nid in ids], dtype=float
+            )
+            self._dist = distance_matrix(positions)
+        else:
+            self._dist = np.zeros((0, 0))
+        self._master_version = self._topo_version
+
+    def _channel_index(self, channel: int) -> _ChannelIndex:
+        token = (self._topo_version, self._chan_version)
+        idx = self._chan_cache.get(channel)
+        if idx is not None and idx.token == token:
+            return idx
+        self._ensure_master()
+        members = [
+            nid for nid in self._ids
+            if self._xcvrs[nid].config.channel == channel
+        ]
+        idx = _ChannelIndex(
+            channel, token, members,
+            [self._xcvrs[nid] for nid in members],
+            np.array([self._index_of[nid] for nid in members], dtype=np.intp),
+        )
+        self._chan_cache[channel] = idx
+        return idx
+
+    def _mean_loss_row(
+        self, src: int, idx: _ChannelIndex
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deterministic loss + static shadowing from ``src`` to every
+        other channel member, plus those members' offsets in ``idx``.
+
+        Cached per (sender, channel); the shadowing epoch in the key means
+        a pinned or newly drawn link anywhere rebuilds the row (a rebuild
+        with no missing links consumes no RNG, so caching cannot shift the
+        stream).
+        """
+        prop = self.propagation
+        cached = self._row_cache.get((src, idx.channel))
+        if (cached is not None and cached[0] is idx
+                and cached[1] == prop.shadowing_epoch):
+            return cached[2], cached[3]
+        src_off = idx.offset_of[src]
+        sub_offsets = np.delete(np.arange(len(idx.ids), dtype=np.intp),
+                                src_off)
+        sub_ids = np.delete(idx.id_arr, src_off)
+        dists = self._dist[idx.master_rows[src_off],
+                           idx.master_rows[sub_offsets]]
+        # Same association order as the scalar path: (det + shadow),
+        # fading added later by the caller.
+        mean = (prop.deterministic_loss_db(dists)
+                + prop.shadowing_row(src, sub_ids))
+        self._row_cache[(src, idx.channel)] = (
+            idx, prop.shadowing_epoch, mean, sub_offsets
+        )
+        return mean, sub_offsets
 
     # -- carrier sense ---------------------------------------------------------
 
@@ -174,10 +364,12 @@ class RadioMedium:
         if xcvr._transmitting_until > now:
             return True
         self._prune(now)
+        rid = xcvr.node_id
+        channel = xcvr.config.channel
         for tx in self._active:
-            if tx.channel != xcvr.config.channel:
+            if tx.channel != channel:
                 continue
-            power = tx.rx_powers.get(xcvr.node_id)
+            power = tx.power_at(rid)
             if power is not None and power >= CCA_THRESHOLD_DBM:
                 return True
         return False
@@ -192,19 +384,19 @@ class RadioMedium:
         """
         now = self.env.now
         self._prune(now)
+        rid = xcvr.node_id
+        channel = xcvr.config.channel
         powers = []
         for tx in self._active:
-            if tx.channel != xcvr.config.channel:
+            if tx.channel != channel or tx.sender == rid:
                 continue
-            if tx.sender == xcvr.node_id:
-                continue
-            power = tx.rx_powers.get(xcvr.node_id)
+            power = tx.power_at(rid)
             if power is None:
                 # The sampler hopped onto this channel after the frame
                 # started; compute its leakage on the fly.
                 power = self.propagation.mean_received_power_dbm(
-                    tx.tx_power_dbm, tx.sender, xcvr.node_id,
-                    self.distance(tx.sender, xcvr.node_id),
+                    tx.tx_power_dbm, tx.sender, rid,
+                    self.distance(tx.sender, rid),
                 )
             powers.append(power)
         return dbm_sum(NOISE_FLOOR_DBM, *powers)
@@ -222,30 +414,34 @@ class RadioMedium:
             raise RadioError(f"node {xcvr.node_id}: radio is off")
         now = self.env.now
         self._prune(now)
+        sender_id = xcvr.node_id
         channel = xcvr.config.channel
-        tx_power = xcvr.config.tx_power_dbm
+        tx_power = xcvr.config._tx_power_dbm
         airtime = frame.airtime
 
-        # Draw received powers for every same-channel transceiver, in
-        # sorted id order for determinism.
-        rx_powers: dict[int, float] = {}
-        for rid in sorted(self._xcvrs):
-            if rid == xcvr.node_id:
-                continue
-            other = self._xcvrs[rid]
-            if other.config.channel != channel:
-                continue
-            rx_powers[rid] = self.propagation.received_power_dbm(
-                tx_power, xcvr.node_id, rid, self.distance(xcvr.node_id, rid)
-            )
+        # Received power at every same-channel transceiver, one vector op
+        # per stochastic term, draws in sorted-id order.
+        idx = self._channel_index(channel)
+        mean, sub_offsets = self._mean_loss_row(sender_id, idx)
+        count = len(sub_offsets)
+        prop = self.propagation
+        if count and prop.fading_sigma_db > 0:
+            loss = mean + prop.fading_row(count)
+        else:
+            loss = mean
+        rx = np.full(len(idx.ids), -np.inf)
+        if count:
+            rx[sub_offsets] = tx_power - loss
 
         tx = _ActiveTransmission(
-            sender=xcvr.node_id, channel=channel, tx_power_dbm=tx_power,
-            start=now, end=now + airtime, rx_powers=rx_powers,
+            sender_id, channel, tx_power, now, now + airtime, idx, rx
         )
-        tx.overlapping = list(self._active)
-        for other_tx in self._active:
-            other_tx.overlapping.append(tx)
+        for other in self._active:
+            other.overlap_senders.add(sender_id)
+            tx.overlap_senders.add(other.sender)
+            if other.channel == channel:
+                other.overlapping.append(tx)
+                tx.overlapping.append(other)
         self._active.append(tx)
         xcvr._transmitting_until = tx.end
 
@@ -256,7 +452,23 @@ class RadioMedium:
     # -- internals ---------------------------------------------------------------
 
     def _prune(self, now: float) -> None:
-        self._active = [t for t in self._active if t.end > now]
+        active = self._active
+        for tx in active:
+            if tx.end <= now:
+                break
+        else:
+            return
+        keep = []
+        for tx in active:
+            if tx.end > now:
+                keep.append(tx)
+            elif tx.end < now:
+                # Its completion callback has run; drop the cross-links
+                # so finished transmissions don't keep their overlap
+                # peers (and transitively the whole busy period) alive.
+                tx.overlapping.clear()
+                tx.overlap_senders.clear()
+        self._active = keep
 
     def _complete(self, sender: Transceiver, frame: "Frame",
                   tx: _ActiveTransmission) -> None:
@@ -268,112 +480,215 @@ class RadioMedium:
         answer the lifecycle trace exists to give.  Broadcast frames
         record only actual receptions (a per-absent-listener drop event
         for every distant node would bury the timeline).
+
+        The walk over receivers is split into RNG-ordered passes so every
+        stream is consumed in the same sorted-id order as the historical
+        scalar loop, while the draws themselves are batched:
+
+        1. classify each receiver (off / out of range / half-duplex /
+           candidate) and compute SINR + capture — no RNG;
+        2. one batched reception draw over the captured candidates;
+        3. scalar corruption draws for the failures (interleaved
+           random()/integers() calls cannot batch);
+        4. batched RSSI and LQI draws over the deliveries;
+        5. emit counters, trace events, and deliveries in id order.
         """
-        tracer = self.tracer
-        trace_on = tracer.enabled
-        delivered_to_dst = False
-        any_delivered = False
-        for rid in sorted(tx.rx_powers):
-            is_dst = rid == frame.dst
-            receiver = self._xcvrs[rid]
-            if not receiver.enabled:
-                if trace_on and is_dst:
-                    tracer.emit("radio.drop", self.env.now, node=rid,
-                                packet=frame.trace_id, reason="radio_off",
-                                sender=tx.sender)
+        idx = tx.index
+        ids = idx.ids
+        xcvrs = idx.xcvrs
+        rx_list = tx.rx_list
+        member_count = len(ids)
+        sender_id = tx.sender
+        overlapping = tx.overlapping
+        overlap_senders = tx.overlap_senders
+        frame_bytes = frame.size_bytes
+
+        # Pass 1: classification (no RNG).
+        sens = (tx.rx >= SENSITIVITY_DBM).tolist()
+        outcome = [_SKIP] * member_count
+        cand_offs: list[int] = []
+        interfered = [False] * member_count
+        was_captured = [False] * member_count
+        sinr_of = [0.0] * member_count
+        for off in range(member_count):
+            rid = ids[off]
+            if rid == sender_id:
                 continue
-            rx_power = tx.rx_powers[rid]
-            if rx_power < SENSITIVITY_DBM:
-                if trace_on and is_dst:
-                    tracer.emit("radio.drop", self.env.now, node=rid,
-                                packet=frame.trace_id, reason="out_of_range",
-                                sender=tx.sender,
-                                rx_power_dbm=round(rx_power, 3))
+            if not xcvrs[off].enabled:
+                outcome[off] = _OFF
+                continue
+            if not sens[off]:
+                outcome[off] = _RANGE
                 continue
             # Half-duplex: a node that transmitted during our airtime
             # cannot have received us.
-            if any(o.sender == rid for o in tx.overlapping):
-                self.monitor.count("medium.halfduplex_loss")
-                if trace_on and is_dst:
-                    tracer.emit("radio.drop", self.env.now, node=rid,
-                                packet=frame.trace_id, reason="half_duplex",
-                                sender=tx.sender)
+            if overlap_senders and rid in overlap_senders:
+                outcome[off] = _HD
                 continue
-            interference = [
-                o.rx_powers[rid]
-                for o in tx.overlapping
-                if o.channel == tx.channel and rid in o.rx_powers
-            ]
-            noise_dbm = dbm_sum(NOISE_FLOOR_DBM, *interference)
-            sinr = rx_power - noise_dbm
+            rx_power = rx_list[off]
             captured = True
-            if interference:
-                self.monitor.count("medium.interfered_receptions")
-                # Capture gates on the signal-to-*interference* ratio: a
-                # correlator cannot separate two comparable overlapping
-                # frames, but interference well below the signal (even if
-                # it nudges the noise floor) is just extra noise, which
-                # the PRR curve already accounts for via the SINR.
-                sir = rx_power - dbm_sum(*interference)
-                captured = sir >= CAPTURE_THRESHOLD_DB
-            prr = packet_reception_ratio(sinr, frame.size_bytes)
-            success = captured and self._loss_rng.random() < prr
+            if overlapping:
+                interference = [
+                    p for o in overlapping
+                    if (p := o.power_at(rid)) is not None
+                ]
+                if interference:
+                    interfered[off] = True
+                    sinr = rx_power - dbm_sum(NOISE_FLOOR_DBM, *interference)
+                    # Capture gates on the signal-to-*interference* ratio:
+                    # a correlator cannot separate two comparable
+                    # overlapping frames, but interference well below the
+                    # signal is just extra noise, which the PRR curve
+                    # already accounts for via the SINR.
+                    sir = rx_power - dbm_sum(*interference)
+                    captured = sir >= CAPTURE_THRESHOLD_DB
+                else:
+                    sinr = rx_power - _NOISE_ONLY_DBM
+            else:
+                sinr = rx_power - _NOISE_ONLY_DBM
+            sinr_of[off] = sinr
+            was_captured[off] = captured
+            cand_offs.append(off)
 
-            payload = frame.payload
-            crc_ok = True
-            if not success:
-                if (self._corrupt_rng.random()
-                        >= self.corrupt_delivery_fraction) or not payload:
-                    self.monitor.count("medium.lost_frames")
-                    if trace_on and is_dst:
-                        tracer.emit(
-                            "radio.drop", self.env.now, node=rid,
-                            packet=frame.trace_id,
-                            reason=("collision" if not captured
-                                    else "channel_loss"),
-                            sender=tx.sender, sinr_db=round(sinr, 3),
-                        )
-                    continue
-                payload = self._corrupt(payload)
+        # Pass 2: one reception draw per *captured* candidate, id order
+        # (the scalar loop short-circuited the draw for uncaptured ones).
+        success = [False] * member_count
+        captured_offs = [off for off in cand_offs if was_captured[off]]
+        if captured_offs:
+            prr = packet_reception_ratio(
+                np.array([sinr_of[off] for off in captured_offs]),
+                frame_bytes,
+            )
+            draws = self._loss_rng.random(size=len(captured_offs))
+            for off, ok in zip(captured_offs, (draws < prr).tolist()):
+                success[off] = ok
+
+        # Pass 3: corruption decisions for the failures, id order.  These
+        # stay scalar: each corrupted delivery interleaves a uniform with
+        # a variable number of integer draws on the same stream.
+        payload0 = frame.payload
+        fraction = self.corrupt_delivery_fraction
+        corrupt_rng = self._corrupt_rng
+        payload_of: dict[int, bytes] = {}
+        deliver_offs: list[int] = []
+        for off in cand_offs:
+            if success[off]:
+                outcome[off] = _OK
+                deliver_offs.append(off)
+            elif (corrupt_rng.random() >= fraction) or not payload0:
+                outcome[off] = _LOST
+            else:
+                outcome[off] = _CORRUPT
+                payload_of[off] = self._corrupt(payload0)
+                deliver_offs.append(off)
+
+        # Pass 4: PHY observables for every delivery, one batched draw
+        # per stream, id order.  Drawn exactly once so the trace path can
+        # reuse them — enabling tracing must not shift the streams.
+        rssi_of: list[int] = []
+        lqi_of: list[int] = []
+        if deliver_offs:
+            rssi_of = self.rssi_model.readings(tx.rx[deliver_offs])
+            lqi_of = self.lqi_model.readings(
+                np.array([sinr_of[off] for off in deliver_offs])
+            )
+
+        # Pass 5: counters, trace events, deliveries — id order, exactly
+        # the per-receiver sequence the scalar loop produced.
+        env_now = self.env.now
+        tracer = self.tracer
+        trace_on = tracer.enabled
+        monitor = self.monitor
+        dst = frame.dst
+        is_broadcast = frame.is_broadcast
+        delivered_to_dst = False
+        any_delivered = False
+        delivery_pos = 0
+        for off in range(member_count):
+            code = outcome[off]
+            if code == _SKIP:
+                continue
+            rid = ids[off]
+            is_dst = rid == dst
+            if code == _OFF:
+                if trace_on and is_dst:
+                    tracer.emit("radio.drop", env_now, node=rid,
+                                packet=frame.trace_id, reason="radio_off",
+                                sender=sender_id)
+                continue
+            if code == _RANGE:
+                if trace_on and is_dst:
+                    tracer.emit("radio.drop", env_now, node=rid,
+                                packet=frame.trace_id, reason="out_of_range",
+                                sender=sender_id,
+                                rx_power_dbm=round(rx_list[off], 3))
+                continue
+            if code == _HD:
+                monitor.count("medium.halfduplex_loss")
+                if trace_on and is_dst:
+                    tracer.emit("radio.drop", env_now, node=rid,
+                                packet=frame.trace_id, reason="half_duplex",
+                                sender=sender_id)
+                continue
+            if interfered[off]:
+                monitor.count("medium.interfered_receptions")
+            if code == _LOST:
+                monitor.count("medium.lost_frames")
+                if trace_on and is_dst:
+                    tracer.emit(
+                        "radio.drop", env_now, node=rid,
+                        packet=frame.trace_id,
+                        reason=("channel_loss" if was_captured[off]
+                                else "collision"),
+                        sender=sender_id, sinr_db=round(sinr_of[off], 3),
+                    )
+                continue
+            if code == _CORRUPT:
+                monitor.count("medium.corrupted_frames")
+                payload = payload_of[off]
                 crc_ok = False
-                self.monitor.count("medium.corrupted_frames")
-
-            # Draw the PHY observables exactly once: the trace path must
-            # reuse them, not re-sample, or enabling tracing would shift
-            # every later RNG draw and change the simulation.
-            rssi = self.rssi_model.reading(rx_power)
-            lqi = self.lqi_model.reading(sinr)
-            self.monitor.observe("radio.lqi", lqi)
-            if trace_on and (is_dst or frame.is_broadcast):
+            else:
+                payload = payload0
+                crc_ok = True
+            rssi = rssi_of[delivery_pos]
+            lqi = lqi_of[delivery_pos]
+            delivery_pos += 1
+            monitor.observe("radio.lqi", lqi)
+            if trace_on and (is_dst or is_broadcast):
                 tracer.emit(
-                    "radio.rx", self.env.now, node=rid,
-                    packet=frame.trace_id, sender=tx.sender,
+                    "radio.rx", env_now, node=rid,
+                    packet=frame.trace_id, sender=sender_id,
                     crc_ok=crc_ok, rssi=rssi, lqi=lqi,
-                    sinr_db=round(sinr, 3),
+                    sinr_db=round(sinr_of[off], 3),
                 )
             arrival = FrameArrival(
                 frame=frame, payload=payload,
-                sender=tx.sender, receiver=rid, channel=tx.channel,
-                rx_power_dbm=rx_power, sinr_db=sinr,
+                sender=sender_id, receiver=rid, channel=tx.channel,
+                rx_power_dbm=rx_list[off], sinr_db=sinr_of[off],
                 rssi=rssi, lqi=lqi,
-                crc_ok=crc_ok, time=self.env.now,
+                crc_ok=crc_ok, time=env_now,
             )
-            receiver.deliver(arrival)
+            xcvrs[off].deliver(arrival)
             if crc_ok:
                 any_delivered = True
-                if rid == frame.dst:
+                if is_dst:
                     delivered_to_dst = True
 
-        self.monitor.log_packet(PacketRecord(
+        monitor.log_packet(PacketRecord(
             time=tx.start,
-            sender=tx.sender,
-            receiver=None if frame.is_broadcast else frame.dst,
+            sender=sender_id,
+            receiver=None if is_broadcast else dst,
             kind=frame.kind,
             port=getattr(frame, "port", None),
-            size_bytes=frame.size_bytes,
-            delivered=any_delivered if frame.is_broadcast else delivered_to_dst,
+            size_bytes=frame_bytes,
+            delivered=any_delivered if is_broadcast else delivered_to_dst,
         ))
-        self.monitor.count("medium.transmissions")
+        monitor.count("medium.transmissions")
+        # Our half of the overlap cross-links is no longer needed; peers
+        # that outlive us only read our snapshot (index/rx), so clearing
+        # here plus _prune's sweep bounds retention to the busy period.
+        tx.overlapping.clear()
+        tx.overlap_senders.clear()
 
     def _corrupt(self, payload: bytes) -> bytes:
         """Flip a few random bits so the CRC checker has real work to do."""

@@ -80,6 +80,10 @@ class LogDistancePropagation:
         self._shadow_rng = rng.stream("propagation.shadowing")
         self._fading_rng = rng.stream("propagation.fading")
         self._shadowing: dict[tuple[int, int], float] = {}
+        #: Bumped whenever the shadowing table changes (a new link drawn or
+        #: a value pinned).  The medium keys its cached per-sender
+        #: mean-loss rows on this, so pinned links invalidate them.
+        self.shadowing_epoch = 0
 
     # -- deterministic component -------------------------------------------
 
@@ -117,12 +121,52 @@ class LogDistancePropagation:
                 self._shadow_rng.normal(0.0, self.shadowing_sigma_db)
             )
             self._shadowing[key] = value
+            self.shadowing_epoch += 1
         return value
 
     def set_link_shadowing_db(self, src: int, dst: int, value: float) -> None:
         """Pin a link's shadowing (used by tests and fault injection —
         e.g. forcing a broken or strongly asymmetric link)."""
         self._shadowing[(src, dst)] = float(value)
+        self.shadowing_epoch += 1
+
+    def shadowing_row(self, src: int, dst_ids: np.ndarray) -> np.ndarray:
+        """Shadowing of every directed link ``src -> dst_ids[i]``.
+
+        Missing links are drawn in ``dst_ids`` order as one batched call;
+        a numpy Generator fills arrays element-by-element from the same
+        bitstream as repeated scalar draws, so the stream consumed here is
+        identical to the per-link lazy path.  Callers must pass ``dst_ids``
+        sorted ascending (the medium's draw-order contract).
+        """
+        table = self._shadowing
+        out = np.empty(len(dst_ids), dtype=float)
+        missing: list[tuple[int, int]] = []
+        for i, dst in enumerate(dst_ids.tolist()):
+            value = table.get((src, dst))
+            if value is None:
+                missing.append((i, dst))
+            else:
+                out[i] = value
+        if missing:
+            draws = self._shadow_rng.normal(
+                0.0, self.shadowing_sigma_db, size=len(missing)
+            )
+            for (i, dst), draw in zip(missing, draws):
+                value = float(draw)
+                table[(src, dst)] = value
+                out[i] = value
+            self.shadowing_epoch += len(missing)
+        return out
+
+    def fading_row(self, count: int) -> np.ndarray:
+        """``count`` per-packet fading draws as one batched call.
+
+        Stream-equivalent to ``count`` scalar draws (see
+        :meth:`shadowing_row`); only meaningful when ``fading_sigma_db``
+        is positive — callers gate on that, as the scalar path does.
+        """
+        return self._fading_rng.normal(0.0, self.fading_sigma_db, size=count)
 
     def sample_loss_db(self, src: int, dst: int, distance_m: float) -> float:
         """Total loss for one packet on the directed link src→dst."""

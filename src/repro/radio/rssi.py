@@ -24,8 +24,12 @@ _MAX_READING = 127
 
 def dbm_to_reading(power_dbm: float) -> int:
     """Exact register value for an RF input power (no measurement noise)."""
-    return int(np.clip(round(power_dbm - RSSI_OFFSET_DBM),
-                       _MIN_READING, _MAX_READING))
+    value = round(float(power_dbm) - RSSI_OFFSET_DBM)
+    if value < _MIN_READING:
+        return _MIN_READING
+    if value > _MAX_READING:
+        return _MAX_READING
+    return value
 
 
 def reading_to_dbm(reading: int) -> float:
@@ -52,3 +56,18 @@ class RssiModel:
         if self.noise_sigma_db > 0:
             noisy += float(self._rng.normal(0.0, self.noise_sigma_db))
         return dbm_to_reading(noisy)
+
+    def readings(self, received_powers_dbm: np.ndarray) -> list[int]:
+        """Register values for many frames, one batched noise draw.
+
+        A numpy Generator fills an array from the same bitstream as
+        repeated scalar draws, so this consumes exactly what ``len(...)``
+        calls to :meth:`reading` would.
+        """
+        n = len(received_powers_dbm)
+        if n == 0:
+            return []
+        noisy = np.asarray(received_powers_dbm, dtype=float)
+        if self.noise_sigma_db > 0:
+            noisy = noisy + self._rng.normal(0.0, self.noise_sigma_db, size=n)
+        return [dbm_to_reading(p) for p in noisy.tolist()]

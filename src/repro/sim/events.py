@@ -45,6 +45,11 @@ class Event:
     composition free of races.
     """
 
+    # Events are the engine's unit of allocation — tens of thousands per
+    # simulated minute — so they carry no __dict__.
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_ok", "_processed",
+                 "defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: list[_t.Callable[[Event], None]] | None = []
@@ -149,11 +154,17 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` seconds after it is created."""
 
+    #: ``_pooled`` marks instances owned by the environment's timeout
+    #: pool (see :meth:`Environment.pooled_timeout`); the dispatch loop
+    #: recycles those after their callbacks run.
+    __slots__ = ("delay", "_pooled")
+
     def __init__(self, env: "Environment", delay: float, value: object = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(env)
         self.delay = delay
+        self._pooled = False
         self._ok = True
         self._value = value
         env.schedule(self, delay=delay)
@@ -166,6 +177,8 @@ class Condition(Event):
     to its value once the subclass-specific quorum is reached.  Fails with
     the first sub-event failure (absorbing/defusing it).
     """
+
+    __slots__ = ("_events", "_count")
 
     def __init__(self, env: "Environment", events: _t.Sequence[Event]):
         super().__init__(env)
@@ -200,12 +213,16 @@ class Condition(Event):
 class AnyOf(Condition):
     """Succeeds as soon as any sub-event succeeds (or the list is empty)."""
 
+    __slots__ = ()
+
     def _quorum(self, count: int, total: int) -> bool:
         return count >= 1
 
 
 class AllOf(Condition):
     """Succeeds once every sub-event has succeeded."""
+
+    __slots__ = ()
 
     def _quorum(self, count: int, total: int) -> bool:
         return count == total

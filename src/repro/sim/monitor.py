@@ -67,12 +67,20 @@ class Monitor:
         self.registry = MetricsRegistry()
         self._series: dict[str, list[Sample]] = defaultdict(list)
         self.packets: list[PacketRecord] = []
+        # Hot-path memos of registry lookups (count/observe run per
+        # frame); dropped on reset() together with the registry contents.
+        self._counter_memo: dict[str, Counter] = {}
+        self._histogram_memo: dict[str, Histogram] = {}
 
     # -- counters ------------------------------------------------------------
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self.registry.counter(name).inc(amount)
+        counter = self._counter_memo.get(name)
+        if counter is None:
+            counter = self.registry.counter(name)
+            self._counter_memo[name] = counter
+        counter.inc(amount)
 
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
@@ -101,7 +109,11 @@ class Monitor:
         occupancy) where only the distribution matters, not the
         individual time-stamped points.
         """
-        self.registry.histogram(name).observe(value)
+        histogram = self._histogram_memo.get(name)
+        if histogram is None:
+            histogram = self.registry.histogram(name)
+            self._histogram_memo[name] = histogram
+        histogram.observe(value)
 
     def histogram(self, name: str) -> Histogram:
         """The histogram behind series/observations named ``name``."""
@@ -149,3 +161,5 @@ class Monitor:
         self.registry.reset()
         self._series.clear()
         self.packets.clear()
+        self._counter_memo.clear()
+        self._histogram_memo.clear()

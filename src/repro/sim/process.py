@@ -31,6 +31,8 @@ class Process(Event):
     :class:`~repro.errors.ProcessInterrupt`).
     """
 
+    __slots__ = ("_generator", "name", "_target")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: str | None = None):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):

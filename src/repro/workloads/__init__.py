@@ -4,6 +4,7 @@ from repro.workloads.scenarios import (
     corridor_chain,
     QUIET_PROPAGATION,
     eight_hop_chain,
+    hundred_node_field,
     thirty_node_field,
 )
 from repro.workloads.topologies import (
@@ -27,6 +28,7 @@ __all__ = [
     "build_random_field",
     "eight_hop_chain",
     "thirty_node_field",
+    "hundred_node_field",
     "corridor_chain",
     "QUIET_PROPAGATION",
     "Flow",

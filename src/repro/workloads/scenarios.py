@@ -4,7 +4,10 @@
   (Figures 5, 6, 7).
 * :func:`thirty_node_field` — "a testbed composed of thirty MicaZ nodes"
   (§III-B.3), as a jittered 6×5 grid.
-* Both use deterministic propagation unless asked otherwise, so benches
+* :func:`hundred_node_field` — a 10×10 jittered grid for the long-duration
+  link studies related work runs at scale; opened up by the vectorized
+  medium (see docs/PERFORMANCE.md).
+* All use deterministic propagation unless asked otherwise, so benches
   regenerate identical figures run over run.
 """
 
@@ -16,6 +19,7 @@ from repro.workloads.topologies import build_chain, build_grid
 __all__ = [
     "eight_hop_chain",
     "thirty_node_field",
+    "hundred_node_field",
     "corridor_chain",
     "QUIET_PROPAGATION",
     "REALISTIC_PROPAGATION",
@@ -75,6 +79,22 @@ def thirty_node_field(seed: int = 1, *, spacing: float = 45.0,
     """Thirty nodes as a jittered 6×5 grid — the §III-B.3 testbed."""
     return build_grid(
         6, 5, spacing=spacing, jitter=spacing * 0.15, seed=seed,
+        propagation_kwargs=(REALISTIC_PROPAGATION if realistic
+                            else QUIET_PROPAGATION),
+    )
+
+
+def hundred_node_field(seed: int = 1, *, spacing: float = 45.0,
+                       realistic: bool = True) -> Testbed:
+    """One hundred nodes as a jittered 10×10 grid.
+
+    Larger than anything in the paper itself: this is the scale of the
+    WSN-link measurement studies in related work (Fu et al.), and exists
+    to exercise — and benchmark — the medium's vectorized hot path on a
+    topology where every transmission has ~99 candidate receivers.
+    """
+    return build_grid(
+        10, 10, spacing=spacing, jitter=spacing * 0.15, seed=seed,
         propagation_kwargs=(REALISTIC_PROPAGATION if realistic
                             else QUIET_PROPAGATION),
     )

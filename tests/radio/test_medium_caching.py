@@ -1,0 +1,122 @@
+"""Cache-invalidation and retention tests for the vectorized medium.
+
+The medium caches the pairwise distance matrix, per-channel receiver
+indexes and per-sender mean-path-loss rows between transmissions.  Every
+mutation path — moving a node, attaching a new one, hopping channels,
+pinning per-link shadowing — must invalidate the right cache, or the
+simulation silently keeps using stale geometry.  These tests warm the
+caches first and then mutate, so a missing invalidation hook fails them.
+"""
+
+import gc
+
+import pytest
+
+from repro.mac.frame import BROADCAST, Frame
+from repro.radio import RadioConfig
+from repro.radio.medium import _ActiveTransmission
+
+
+def _collect(xcvr):
+    arrivals = []
+    xcvr.set_receive_handler(arrivals.append)
+    return arrivals
+
+
+def _send_one(world, xcvr, payload=b"hello"):
+    yield world.medium.transmit(
+        xcvr, Frame(src=xcvr.node_id, dst=BROADCAST, payload=payload)
+    )
+
+
+def test_position_move_invalidates_distance_cache(quiet_world):
+    a = quiet_world.medium.attach(1, (0.0, 0.0))
+    b = quiet_world.medium.attach(2, (5.0, 0.0))
+    arrivals = _collect(b)
+    assert quiet_world.medium.distance(1, 2) == pytest.approx(5.0)  # warm
+
+    b.position = (2000.0, 0.0)
+    assert quiet_world.medium.distance(1, 2) == pytest.approx(2000.0)
+    quiet_world.env.process(_send_one(quiet_world, a))
+    quiet_world.env.run()
+    assert arrivals == []  # moved out of range, not heard via stale matrix
+
+
+def test_attach_invalidates_topology_cache(quiet_world):
+    a = quiet_world.medium.attach(1, (0.0, 0.0))
+    quiet_world.medium.attach(2, (5.0, 0.0))
+    quiet_world.env.process(_send_one(quiet_world, a))
+    quiet_world.env.run()  # warm the matrix with the two-node topology
+
+    c = quiet_world.medium.attach(3, (0.0, 5.0))
+    arrivals = _collect(c)
+    assert quiet_world.medium.distance(1, 3) == pytest.approx(5.0)
+    quiet_world.env.process(_send_one(quiet_world, a))
+    quiet_world.env.run()
+    assert len(arrivals) == 1
+
+
+def test_channel_hop_invalidates_channel_index(quiet_world):
+    a = quiet_world.medium.attach(1, (0.0, 0.0), RadioConfig(channel=11))
+    b = quiet_world.medium.attach(2, (5.0, 0.0), RadioConfig(channel=11))
+    arrivals = _collect(b)
+    quiet_world.env.process(_send_one(quiet_world, a))
+    quiet_world.env.run()
+    assert len(arrivals) == 1  # same channel, warm index
+
+    b.config.set_channel(26)
+    quiet_world.env.process(_send_one(quiet_world, a))
+    quiet_world.env.run()
+    assert len(arrivals) == 1  # hopped away: silent
+
+    b.config.set_channel(11)
+    quiet_world.env.process(_send_one(quiet_world, a))
+    quiet_world.env.run()
+    assert len(arrivals) == 2  # hopped back: heard again
+
+
+def test_pinned_shadowing_invalidates_mean_loss_row(quiet_world):
+    a = quiet_world.medium.attach(1, (0.0, 0.0))
+    b = quiet_world.medium.attach(2, (5.0, 0.0))
+    arrivals = _collect(b)
+    quiet_world.env.process(_send_one(quiet_world, a))
+    quiet_world.env.run()
+    before = arrivals[-1].rx_power_dbm  # warm mean-loss row
+
+    quiet_world.propagation.set_link_shadowing_db(1, 2, 40.0)
+    quiet_world.env.process(_send_one(quiet_world, a))
+    quiet_world.env.run()
+    after = arrivals[-1].rx_power_dbm
+    assert before - after == pytest.approx(40.0, abs=1e-9)
+
+
+def test_completed_transmissions_release_overlap_links(quiet_world):
+    """A long broadcast storm must not chain transmissions in memory.
+
+    Each in-flight transmission records its overlap partners; once it
+    completes those links must be dropped, or a busy channel retains
+    every transmission ever made via ``overlapping`` chains.
+    """
+    xcvrs = [
+        quiet_world.medium.attach(i, (float(i), 0.0)) for i in range(1, 11)
+    ]
+
+    def storm(xcvr):
+        for _ in range(30):
+            yield quiet_world.medium.transmit(
+                xcvr,
+                Frame(src=xcvr.node_id, dst=BROADCAST, payload=b"0" * 20),
+            )
+            yield quiet_world.env.timeout(0.001)
+
+    for xcvr in xcvrs:
+        quiet_world.env.process(storm(xcvr))
+    quiet_world.env.run()
+
+    gc.collect()
+    live = [obj for obj in gc.get_objects()
+            if isinstance(obj, _ActiveTransmission)]
+    # Of the 300 transmissions made, only the final not-yet-pruned
+    # generation may survive, and none may still hold overlap links.
+    assert len(live) <= len(xcvrs)
+    assert all(not tx.overlapping and not tx.overlap_senders for tx in live)

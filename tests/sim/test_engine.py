@@ -166,3 +166,57 @@ def test_callback_after_processed_fires_immediately():
     seen = []
     ev.add_callback(lambda e: seen.append(e.value))
     assert seen == [7]
+
+
+def test_pooled_timeout_advances_clock_and_delivers_value():
+    env = Environment()
+    seen = []
+
+    def proc():
+        value = yield env.pooled_timeout(1.5, value="tick")
+        seen.append((env.now, value))
+
+    env.process(proc())
+    env.run()
+    assert seen == [(1.5, "tick")]
+
+
+def test_pooled_timeout_reuses_instances():
+    env = Environment()
+    first = env.pooled_timeout(0.1)
+    env.run()
+    # ``first`` went back to the pool after its callbacks ran; the next
+    # request must hand out the same object, fully reset.
+    second = env.pooled_timeout(0.2)
+    assert second is first
+    assert second.delay == 0.2
+    assert second.callbacks == []
+    assert not second.processed
+    fired = []
+    second.add_callback(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == [0.1 + 0.2]
+
+
+def test_pooled_timeout_negative_delay_raises_and_keeps_pool():
+    env = Environment()
+    env.pooled_timeout(0.0)
+    env.run()
+    size = len(env._timeout_pool)
+    assert size >= 1
+    with pytest.raises(SimulationError):
+        env.pooled_timeout(-1.0)
+    assert len(env._timeout_pool) == size  # instance returned, not lost
+
+
+def test_pooled_and_plain_timeouts_interleave_in_order():
+    env = Environment()
+    order = []
+    env.timeout(1.0, value="plain").add_callback(
+        lambda e: order.append(e.value)
+    )
+    env.pooled_timeout(1.0, value="pooled").add_callback(
+        lambda e: order.append(e.value)
+    )
+    env.run()
+    assert order == ["plain", "pooled"]  # insertion order at equal time

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import prr_matrix
-from repro.workloads import corridor_chain, eight_hop_chain
+from repro.workloads import corridor_chain, eight_hop_chain, hundred_node_field
 
 
 def test_corridor_chain_pins_adjacency():
@@ -42,6 +42,19 @@ def test_eight_hop_chain_is_genuinely_eight_hops():
         assert current is not None
         hops += 1
     assert hops == 8
+
+
+def test_hundred_node_field_shape():
+    """The benchmark-scale topology: 100 unique nodes spanning a grid."""
+    tb = hundred_node_field(seed=4)
+    assert len(tb) == 100
+    ids = [node.id for node in tb.nodes()]
+    assert len(set(ids)) == 100
+    xs = [node.position[0] for node in tb.nodes()]
+    ys = [node.position[1] for node in tb.nodes()]
+    # A jittered 10x10 grid at 45 m spacing spans ~405 m, not a clump.
+    assert max(xs) - min(xs) > 300
+    assert max(ys) - min(ys) > 300
 
 
 def test_cli_topology_builder():
