@@ -6,54 +6,32 @@ paper leaves implicit: forwarding candidates are filtered by beacon LQI
 hop of distance for heavy silent loss.  This bench quantifies it on a
 chain whose alternate-hop "shortcut" links are exactly the gray-region
 links the filter exists to avoid.
+
+Runs as a :mod:`repro.campaign` grid over ``min_lqi`` ∈ {90, 0} — the
+``lqi_ablation`` scenario owns the 20-ping measurement; the campaign
+owns the sweep, the seeding and the merge.
 """
 
-import pytest
+from repro.analysis import aggregate_cells, render_table
+from repro.campaign import Campaign, run_campaign
 
-from repro.analysis import packets_between, render_table
-from repro.core.commands.ping import install_ping
-from repro.net import GeographicForwarding
-from repro.workloads import build_chain
-from repro.workloads.scenarios import QUIET_PROPAGATION
-
-#: 46 m spacing: adjacent links are clean (SNR ≈ 8 dB), two-hop
-#: "shortcuts" (92 m) sit in the gray region (SNR ≈ -0.8 dB) — greedy
-#: forwarding without the filter takes them.
-SPACING = 46.0
 ROUNDS = 20
 
-
-def run_pings(min_lqi, seed=3):
-    testbed = build_chain(7, spacing=SPACING, seed=seed,
-                          propagation_kwargs=QUIET_PROPAGATION)
-    testbed.install_protocol_everywhere(
-        GeographicForwarding, min_lqi=min_lqi
-    )
-    pings = {n.id: install_ping(n) for n in testbed.nodes()}
-    testbed.warm_up(20.0)
-    start = testbed.env.now
-    delivered = 0
-    rtts = []
-    for _ in range(ROUNDS):
-        proc = testbed.env.process(
-            pings[1].ping(7, rounds=1, length=16, routing_port=10)
-        )
-        result = testbed.env.run(until=proc)
-        if result.received:
-            delivered += 1
-            rtts.append(result.rounds[0].rtt_ms)
-    packets = packets_between(testbed.monitor, start, testbed.env.now)
-    return {
-        "delivered": delivered,
-        "mean_rtt": sum(rtts) / len(rtts) if rtts else None,
-        "packets": len(packets),
-    }
+CAMPAIGN = Campaign(
+    name="lqi-ablation", scenario="lqi_ablation", seed=3,
+    base_params={"rounds": ROUNDS}, grid={"min_lqi": [90.0, 0.0]},
+)
 
 
 def test_lqi_filter_ablation(benchmark, report):
-    benchmark.pedantic(run_pings, args=(90.0,), rounds=1, iterations=1)
-    filtered = run_pings(90.0)
-    unfiltered = run_pings(0.0)
+    single = Campaign(name="lqi-one", scenario="lqi_ablation", seed=3,
+                      base_params={"rounds": ROUNDS, "min_lqi": 90.0})
+    benchmark.pedantic(lambda: run_campaign(single, workers=1),
+                       rounds=1, iterations=1)
+    result = run_campaign(CAMPAIGN, workers=1)
+    assert result.failures == []
+    by_lqi = {r.spec.params_dict["min_lqi"]: r.values for r in result.ok}
+    filtered, unfiltered = by_lqi[90.0], by_lqi[0.0]
 
     # -- shape assertions ------------------------------------------------
     # With the filter, the 6-hop path is reliable.
@@ -62,14 +40,23 @@ def test_lqi_filter_ablation(benchmark, report):
     # (each round trip crosses several ~50% links).
     assert unfiltered["delivered"] < filtered["delivered"]
 
+    # The merge path works on sweep output too: one cell per min_lqi.
+    cells = aggregate_cells(
+        [(r.spec.params_dict, r.values) for r in result.ok],
+        metrics=["delivered"],
+    )
+    assert {a.params["min_lqi"]: a.mean for a in cells} == {
+        90.0: filtered["delivered"], 0.0: unfiltered["delivered"],
+    }
+
     report("ablation_lqi_filter", render_table(
         ["min_lqi", "delivered", "mean_rtt_ms", "radio_packets"],
         [[90, f"{filtered['delivered']}/{ROUNDS}",
-          round(filtered["mean_rtt"], 1), filtered["packets"]],
+          round(filtered["mean_rtt_ms"], 1), filtered["packets"]],
          [0, f"{unfiltered['delivered']}/{ROUNDS}",
-          "-" if unfiltered["mean_rtt"] is None
-          else round(unfiltered["mean_rtt"], 1),
+          "-" if unfiltered["mean_rtt_ms"] is None
+          else round(unfiltered["mean_rtt_ms"], 1),
           unfiltered["packets"]]],
         title=("Ablation — geographic forwarding's link-quality filter "
-               f"({ROUNDS} multi-hop pings over 6 hops)"),
+               f"({ROUNDS} multi-hop pings over 6 hops, campaign grid)"),
     ))

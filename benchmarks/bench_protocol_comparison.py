@@ -7,136 +7,75 @@ install each protocol sequentially, and measure the protocol
 performance" — with the same ping/traceroute binaries and only the
 ``port=`` parameter changing.
 
-This bench runs the *identical* multi-hop ping command over geographic
-forwarding, DSDV and flooding on the same 4-hop chain and compares
-delivery, RTT and per-invocation packet cost.  Shape: all three deliver;
-flooding pays the highest packet cost; the unicast protocols are
-comparable to each other and much cheaper than flooding.
+Runs as a :mod:`repro.campaign` grid: one ``protocol_ping`` cell per
+routing protocol (all four co-installed in every cell, the ``protocol``
+parameter picks the probed port), two seeded replicates per cell, merged
+into per-protocol means.  Shape: all four deliver; flooding pays the
+highest packet cost; the unicast protocols are comparable to each other
+and much cheaper than flooding; the collection tree (measured one-way —
+it has no reply path) is cheapest per probe.
 """
 
-import pytest
+from repro.analysis import aggregate_cells, render_table
+from repro.campaign import Campaign, run_campaign
 
-from repro.analysis import packets_between, render_table
-from repro.core.deploy import deploy_liteview
-from repro.net import (
-    TREE_PORT,
-    DsdvRouting,
-    FloodingProtocol,
-    GeographicForwarding,
-    TreeRouting,
-    WellKnownPorts,
+PROTOCOLS = ["geographic", "dsdv", "tree", "flooding"]
+
+CAMPAIGN = Campaign(
+    name="e8-protocols", scenario="protocol_ping", seed=4,
+    grid={"protocol": PROTOCOLS}, repeats=2,
 )
-from repro.workloads import build_chain
-from repro.workloads.scenarios import QUIET_PROPAGATION
-
-PROTOCOLS = [
-    ("geographic forwarding", GeographicForwarding,
-     WellKnownPorts.GEOGRAPHIC),
-    ("dsdv", DsdvRouting, WellKnownPorts.DSDV),
-    ("tree (etx)", TreeRouting, TREE_PORT),
-    ("flooding", FloodingProtocol, WellKnownPorts.FLOODING),
-]
 
 
-@pytest.fixture(scope="module")
-def deployment():
-    """One chain with all four protocols installed side by side."""
-    testbed = build_chain(5, spacing=60.0, seed=4,
-                          propagation_kwargs=QUIET_PROPAGATION)
-    for node in testbed.nodes():
-        for _name, cls, _port in PROTOCOLS:
-            if cls is TreeRouting:
-                # Collection tree rooted at the ping target (node 5),
-                # so root-bound probes are routable.
-                node.install_protocol(cls, root=5)
-            else:
-                node.install_protocol(cls)
-    dep = deploy_liteview(testbed, protocol=None, warm_up=40.0)
-    return dep
+def cell_means(result):
+    """Per-protocol mean of every numeric observable."""
+    rows = [(r.spec.params_dict, r.values) for r in result.ok]
+    out: dict[str, dict[str, float]] = {}
+    for agg in aggregate_cells(rows):
+        out.setdefault(agg.params["protocol"], {})[agg.metric] = agg.mean
+    return out
 
 
-def measure(dep, port, rounds=8):
-    """Delivery/RTT/packet-cost of multi-hop ping over one protocol."""
-    tb = dep.testbed
-    service = dep.ping_services[1]
-    start = tb.env.now
-    proc = tb.env.process(
-        service.ping(5, rounds=rounds, length=16, routing_port=port)
-    )
-    result = tb.env.run(until=proc)
-    packets = packets_between(tb.monitor, start, tb.env.now)
-    return {
-        "received": result.received,
-        "rounds": rounds,
-        "mean_rtt_ms": result.mean_rtt_ms,
-        "packets": len(packets),
-    }
-
-
-def measure_collection(dep, port, rounds=8):
-    """One-way delivery over the collection tree (no reply path exists:
-    trees route only toward the root — a structural protocol property
-    this comparison surfaces)."""
-    tb = dep.testbed
-    got = []
-    if tb.node(5).stack.ports.holder(66) is None:
-        tb.node(5).stack.ports.subscribe(66, lambda p, a: got.append(p),
-                                         name="collect")
-    start = tb.env.now
-    proto = tb.node(1).protocol_on(port)
-    for _ in range(rounds):
-        proto.send(5, 66, b"collected-data", kind="tree")
-        tb.warm_up(0.2)
-    packets = packets_between(tb.monitor, start, tb.env.now)
-    return {
-        "received": len(got),
-        "rounds": rounds,
-        "mean_rtt_ms": None,
-        "packets": len(packets),
-    }
-
-
-def test_same_command_runs_over_all_protocols(benchmark, deployment,
-                                              report):
+def test_same_command_runs_over_all_protocols(benchmark, report):
+    single = Campaign(name="e8-one", scenario="protocol_ping", seed=4,
+                      base_params={"protocol": "geographic"})
     benchmark.pedantic(
-        measure, args=(deployment, WellKnownPorts.GEOGRAPHIC),
-        rounds=2, iterations=1,
+        lambda: run_campaign(single, workers=1), rounds=2, iterations=1,
     )
-    stats = {}
-    for name, cls, port in PROTOCOLS:
-        if cls is TreeRouting:
-            stats[name] = measure_collection(deployment, port)
-        else:
-            stats[name] = measure(deployment, port)
+    result = run_campaign(CAMPAIGN, workers=1)
+    assert result.failures == []
+    stats = cell_means(result)
 
     # -- paper-shape assertions --------------------------------------
-    for name, s in stats.items():
+    for name in PROTOCOLS:
+        s = stats[name]
         # Protocol independence: the unmodified command path works over
         # each protocol, delivering the majority of probes.
         assert s["received"] >= s["rounds"] * 0.5, name
-        if name != "tree (etx)":
-            assert s["mean_rtt_ms"] is not None, name
+        if name != "tree":
+            assert s["mean_rtt_ms"] > 0, name
     # Flooding is the expensive baseline: most packets per invocation.
     assert stats["flooding"]["packets"] > max(
-        stats["geographic forwarding"]["packets"],
-        stats["dsdv"]["packets"],
+        stats["geographic"]["packets"], stats["dsdv"]["packets"],
     )
     # The two unicast protocols move the same probe the same distance:
     # comparable packet cost (within 2x of each other).
-    geo, dsdv = (stats["geographic forwarding"]["packets"],
-                 stats["dsdv"]["packets"])
+    geo, dsdv = stats["geographic"]["packets"], stats["dsdv"]["packets"]
     assert max(geo, dsdv) <= 2 * min(geo, dsdv)
 
     rows = [
-        [name, f"{s['received']}/{s['rounds']}",
-         "-" if s["mean_rtt_ms"] is None else round(s["mean_rtt_ms"], 1),
-         s["packets"]]
-        for name, s in stats.items()
+        [name,
+         f"{stats[name]['received']:.1f}/{stats[name]['rounds']:.0f}",
+         ("-" if name == "tree"
+          else round(stats[name]["mean_rtt_ms"], 1)),
+         round(stats[name]["packets"], 1)]
+        for name in PROTOCOLS
     ]
     report("e8_protocol_comparison", render_table(
         ["protocol", "delivered", "mean_rtt_ms", "packets_per_8"],
         rows,
         title=("E8 — one command path, four routing protocols "
-               "(4-hop chain, port= parameter only; tree measured "
+               f"(4-hop chain, port= parameter only; means over "
+               f"{CAMPAIGN.repeats} seeded replicates; tree measured "
                "one-way, it has no reply path)"),
     ))

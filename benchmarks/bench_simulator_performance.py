@@ -40,7 +40,7 @@ def test_thirty_node_minute_of_beacons(benchmark):
         deploy_liteview(testbed, warm_up=60.0)
         return testbed.monitor.counter("medium.transmissions")
 
-    transmissions = benchmark.pedantic(run, rounds=2, iterations=1)
+    transmissions = benchmark.pedantic(run, rounds=5, iterations=1)
     assert transmissions > 500  # ~30 nodes x 30 beacons
 
 
@@ -57,7 +57,7 @@ def test_hundred_node_minute_of_beacons(benchmark):
         deploy_liteview(testbed, warm_up=60.0)
         return testbed.monitor.counter("medium.transmissions")
 
-    transmissions = benchmark.pedantic(run, rounds=2, iterations=1)
+    transmissions = benchmark.pedantic(run, rounds=5, iterations=1)
     assert transmissions > 2000  # ~100 nodes x 30 beacons
 
 

@@ -7,16 +7,33 @@ can quote it.
 
 Timing runs additionally write ``BENCH_simulator.json`` — a
 machine-readable {bench: {mean_s, stddev_s, ops_per_s, rounds}} dump — so
-the perf trajectory is tracked across PRs, not just in prose.
+the perf trajectory is tracked across PRs, not just in prose.  That file
+is a *latest* view (each session overwrites the benches it ran); the full
+history lives in ``benchmarks/results/bench_history.jsonl``, one line per
+measuring session stamped with the commit it ran against.
 """
 
+import datetime
 import json
 import pathlib
+import subprocess
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_simulator.json"
+HISTORY_JSONL = RESULTS_DIR / "bench_history.jsonl"
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 
 @pytest.fixture(scope="session")
@@ -65,5 +82,14 @@ def pytest_sessionfinish(session, exitstatus):
             merged = {}
     merged.update(results)
     BENCH_JSON.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    entry = {
+        "commit": _git_commit(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "benches": results,
+    }
+    with HISTORY_JSONL.open("a") as history:
+        history.write(json.dumps(entry, sort_keys=True) + "\n")
     print(f"\n[bench stats for {len(results)} benches merged "
-          f"into {BENCH_JSON}]")
+          f"into {BENCH_JSON}; history appended to {HISTORY_JSONL}]")

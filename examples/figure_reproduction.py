@@ -3,8 +3,13 @@
 Produces the data behind Figure 5 (traceroute response delay per hop),
 Figure 6 (RSSI readings at power levels 10 and 25) and Figure 7
 (traceroute control-packet overhead vs hops), printed as ASCII tables.
-The benchmark suite runs the same experiments with shape assertions;
-this example is the human-readable tour.
+
+Each figure is a :mod:`repro.campaign`: the grid (power levels, hop
+counts) expands to independent seeded runs, sharded across however many
+cores the machine offers, with results cached under ``.repro-cache/`` —
+re-running this script recomputes only what changed.  The benchmark
+suite runs the same scenario cells with shape assertions; this example
+is the human-readable tour.
 
 Run with::
 
@@ -13,83 +18,59 @@ Run with::
 
 import sys
 
-from repro.analysis import packets_between, render_series, render_table
-from repro.core.deploy import deploy_liteview
-from repro.workloads import build_chain, corridor_chain, eight_hop_chain
-from repro.workloads.scenarios import QUIET_PROPAGATION
+from repro.analysis import render_series, render_table
+from repro.campaign import Campaign, default_workers, run_campaign
+
+#: Shared on-disk cache: re-runs only execute changed or missing cells.
+CACHE_DIR = ".repro-cache"
+
+
+def progress(done, total, result):
+    source = "cache" if result.cached else f"{result.wall_s:.2f}s"
+    state = "ok" if result.ok else "FAILED"
+    print(f"  [{done}/{total}] {result.spec.label()} {state} ({source})",
+          file=sys.stderr)
+
+
+def run(campaign):
+    return run_campaign(campaign, workers=default_workers(),
+                        cache=CACHE_DIR, progress=progress)
 
 
 def figure5(seed):
-    testbed = eight_hop_chain(seed=seed)
-    dep = deploy_liteview(testbed, warm_up=15.0)
-    service = dep.traceroute_services[1]
-    for _ in range(6):  # first run whose eight reports all arrive
-        proc = testbed.env.process(
-            service.traceroute(9, rounds=1, length=32, routing_port=10)
-        )
-        result = testbed.env.run(until=proc)
-        if len(result.arrival_series_ms()) == 8:
-            break
+    out = run(Campaign(name="fig5", scenario="fig5_traceroute", seed=seed))
+    (result,) = out.ok
     print(render_series(
         "Figure 5 — traceroute response delay (8-hop chain)",
-        [(h, round(d, 1)) for h, d in result.arrival_series_ms()],
+        [(h, round(d, 1)) for h, d in result.values["series"]],
         x_label="hop", y_label="delay_ms",
     ))
     print()
 
 
 def figure6(seed):
-    testbed = corridor_chain(9, seed=seed)
-    dep = deploy_liteview(testbed, warm_up=15.0)
-    service = dep.traceroute_services[1]
-
-    def sweep(power):
-        for node in testbed.nodes():
-            node.radio.set_power_level(power)
-        for _ in range(8):
-            proc = testbed.env.process(
-                service.traceroute(9, rounds=1, length=32,
-                                   routing_port=10)
-            )
-            result = testbed.env.run(until=proc)
-            readings = {
-                h.hop_index: (h.link.rssi_forward, h.link.rssi_backward)
-                for h in result.hops
-            }
-            if len(readings) == 8:
-                return readings
-        raise RuntimeError(f"no complete sweep at power {power}")
-
-    at_25 = sweep(25)
-    at_10 = sweep(10)
+    out = run(Campaign(name="fig6", scenario="fig6_rssi_sweep", seed=seed,
+                       grid={"power": [10, 25]}))
+    readings = {
+        r.spec.params_dict["power"]: {
+            hop: (fwd, bwd) for hop, fwd, bwd in r.values["readings"]}
+        for r in out.ok
+    }
+    at_10, at_25 = readings[10], readings[25]
     print(render_table(
         ["hop", "fwd@10", "bwd@10", "fwd@25", "bwd@25"],
         [[h, at_10[h][0], at_10[h][1], at_25[h][0], at_25[h][1]]
-         for h in range(1, 9)],
+         for h in sorted(at_10)],
         title="Figure 6 — RSSI readings at power levels 10 and 25",
     ))
     print()
 
 
 def figure7(seed):
-    rows = []
-    for hops in range(1, 9):
-        testbed = build_chain(hops + 1, spacing=60.0, seed=seed,
-                              propagation_kwargs=QUIET_PROPAGATION)
-        dep = deploy_liteview(testbed, warm_up=15.0)
-        service = dep.traceroute_services[1]
-        costs = []
-        while len(costs) < 3:
-            start = testbed.env.now
-            proc = testbed.env.process(
-                service.traceroute(hops + 1, rounds=1, length=32,
-                                   routing_port=10)
-            )
-            result = testbed.env.run(until=proc)
-            if result.reached_target:
-                costs.append(len(packets_between(
-                    testbed.monitor, start, testbed.env.now)))
-        rows.append([hops, sorted(costs)[1]])
+    out = run(Campaign(name="fig7", scenario="fig7_overhead", seed=seed,
+                       grid={"hops": list(range(1, 9))}))
+    rows = [[r.spec.params_dict["hops"], r.values["median_packets"]]
+            for r in out.ok]
     print(render_series(
         "Figure 7 — traceroute control packets vs hops (median of 3)",
         rows, x_label="hops", y_label="packets",

@@ -4,8 +4,9 @@ Demonstrates the paper's protocol-independence design (§IV-A.1): the
 ping and traceroute executables never change; the ``port=`` parameter
 selects which of the co-installed routing protocols carries the probes.
 "Users may install each protocol sequentially, and measure the protocol
-performance" — here all three are installed side by side and measured
-back to back.
+performance" — here all protocols are installed side by side and the
+measurements run as a :mod:`repro.campaign` grid: one seeded cell per
+protocol, sharded across cores, merged back into one table.
 
 Run with::
 
@@ -14,51 +15,36 @@ Run with::
 
 import sys
 
-from repro.analysis import packets_between, render_table
-from repro.core.deploy import deploy_liteview
-from repro.net import (
-    DsdvRouting,
-    FloodingProtocol,
-    GeographicForwarding,
-    WellKnownPorts,
-)
-from repro.workloads import build_chain
-from repro.workloads.scenarios import QUIET_PROPAGATION
+from repro.analysis import render_table
+from repro.campaign import Campaign, default_workers, run_campaign
+
+PROTOCOLS = ["geographic forwarding", "dsdv", "flooding"]
+CELL_NAMES = {"geographic forwarding": "geographic", "dsdv": "dsdv",
+              "flooding": "flooding"}
 
 
 def main(seed: int = 4) -> None:
-    testbed = build_chain(5, spacing=60.0, seed=seed,
-                          propagation_kwargs=QUIET_PROPAGATION)
-    for node in testbed.nodes():
-        node.install_protocol(GeographicForwarding)
-        node.install_protocol(DsdvRouting)
-        node.install_protocol(FloodingProtocol)
-    deployment = deploy_liteview(testbed, protocol=None, warm_up=40.0)
-    deployment.login("192.168.0.1")
+    campaign = Campaign(
+        name="protocol-comparison", scenario="protocol_ping", seed=seed,
+        grid={"protocol": [CELL_NAMES[p] for p in PROTOCOLS]},
+    )
+    out = run_campaign(campaign, workers=default_workers())
+    by_cell = {r.spec.params_dict["protocol"]: r.values for r in out.ok}
 
     rows = []
-    for name, port in [
-        ("geographic forwarding", WellKnownPorts.GEOGRAPHIC),
-        ("dsdv", WellKnownPorts.DSDV),
-        ("flooding", WellKnownPorts.FLOODING),
-    ]:
-        start = testbed.env.now
-        deployment.run(
-            f"ping 192.168.0.5 round=8 length=16 port={port}"
-        )
-        result = deployment.interpreter.last_result
-        packets = packets_between(testbed.monitor, start, testbed.env.now,
-                                  exclude_kinds=("beacon", "control"))
-        rtt = ("-" if result.mean_rtt_ms is None
-               else f"{result.mean_rtt_ms:.1f}")
-        rows.append([name, port, f"{result.received}/{result.sent}",
-                     rtt, len(packets)])
+    for name in PROTOCOLS:
+        v = by_cell[CELL_NAMES[name]]
+        rtt = ("-" if v["mean_rtt_ms"] is None
+               else f"{v['mean_rtt_ms']:.1f}")
+        rows.append([name, f"{v['received']}/{v['rounds']}", rtt,
+                     v["packets"]])
 
     print(render_table(
-        ["protocol", "port", "delivered", "mean_rtt_ms", "radio_packets"],
+        ["protocol", "delivered", "mean_rtt_ms", "radio_packets"],
         rows,
         title=("multi-hop ping 192.168.0.1 -> 192.168.0.5 "
-               "(same command, port= selects the protocol)"),
+               "(same command, port= selects the protocol; one campaign "
+               "cell per protocol)"),
     ))
     print("\nsame ping binary every time — only the port parameter "
           "changed; no recompilation, exactly the paper's design goal.")

@@ -1,8 +1,18 @@
-"""``python -m repro`` — launch the interactive LiteView shell.
+"""``python -m repro`` — the LiteView shell and the campaign runner.
 
-Builds a 30-node simulated testbed with LiteView deployed everywhere and
-drops into the shell-style command interpreter.  ``--seed N`` selects
-the world; ``--nodes chain:K`` swaps the field for a K-node chain.
+Two subcommands:
+
+``python -m repro shell [--seed N] [--nodes field|chain:K]``
+    Build a simulated testbed with LiteView deployed everywhere and drop
+    into the shell-style command interpreter.  This is the default: bare
+    ``python -m repro [--seed N] [--nodes ...]`` still works.
+
+``python -m repro campaign --scenario NAME [options]``
+    Expand a seeded campaign (grid x repeats) over a scenario cell and
+    run it across a worker pool with live progress, optional on-disk
+    result caching, per-run timeouts and retries.  Prints a per-cell
+    aggregate table and the campaign digest (the digest is identical for
+    any worker count — sharding never changes results).
 """
 
 from __future__ import annotations
@@ -10,13 +20,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.deploy import deploy_liteview
 from repro.errors import ReproError
-from repro.workloads import build_chain, thirty_node_field
-from repro.workloads.scenarios import QUIET_PROPAGATION
 
 
 def build_testbed(spec: str, seed: int):
+    from repro.workloads import build_chain, thirty_node_field
+    from repro.workloads.scenarios import QUIET_PROPAGATION
+
     if spec == "field":
         return thirty_node_field(seed=seed)
     if spec.startswith("chain:"):
@@ -26,15 +36,8 @@ def build_testbed(spec: str, seed: int):
                      "(use 'field' or 'chain:K')")
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Interactive LiteView shell on a simulated testbed.",
-    )
-    parser.add_argument("--seed", type=int, default=3)
-    parser.add_argument("--nodes", default="field",
-                        help="'field' (30 nodes) or 'chain:K'")
-    args = parser.parse_args(argv)
+def run_shell(args: argparse.Namespace) -> int:
+    from repro.core.deploy import deploy_liteview
 
     testbed = build_testbed(args.nodes, args.seed)
     deployment = deploy_liteview(testbed, warm_up=15.0)
@@ -57,6 +60,134 @@ def main(argv: list[str] | None = None) -> int:
         if output:
             print(output)
     return 0
+
+
+def _parse_value(text: str):
+    """CLI parameter literal: int, then float, then bare string."""
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_param(text: str) -> tuple[str, object]:
+    name, sep, value = text.partition("=")
+    if not sep or not name:
+        raise SystemExit(f"bad --param {text!r} (expected name=value)")
+    return name, _parse_value(value)
+
+
+def _parse_grid(text: str) -> tuple[str, list[object]]:
+    name, sep, values = text.partition("=")
+    if not sep or not name or not values:
+        raise SystemExit(f"bad --grid {text!r} (expected name=v1,v2,...)")
+    return name, [_parse_value(v) for v in values.split(",")]
+
+
+def run_campaign_cli(args: argparse.Namespace) -> int:
+    from repro.analysis import aggregate_cells, render_table
+    from repro.campaign import (Campaign, default_workers, run_campaign,
+                                scenario_names)
+
+    if args.list:
+        print("\n".join(scenario_names()))
+        return 0
+    if not args.scenario:
+        raise SystemExit("--scenario is required (try --list)")
+
+    campaign = Campaign(
+        name=args.name, scenario=args.scenario, seed=args.seed,
+        base_params=dict(args.param or ()), grid=dict(args.grid or ()),
+        repeats=args.repeats,
+    )
+    workers = args.workers if args.workers else default_workers()
+    total = len(campaign)
+    print(f"campaign {campaign.name!r}: {total} runs "
+          f"({args.scenario}, seed {campaign.seed}) on {workers} "
+          f"worker{'s' if workers != 1 else ''}", file=sys.stderr)
+
+    def progress(done, total, result):
+        source = "cache" if result.cached else f"{result.wall_s:.2f}s"
+        state = "ok" if result.ok else f"FAILED: {result.error}"
+        print(f"  [{done}/{total}] {result.spec.label()} {state} "
+              f"({source})", file=sys.stderr)
+
+    out = run_campaign(
+        campaign, workers=workers, cache=args.cache,
+        timeout_s=args.timeout, retries=args.retries, progress=progress,
+    )
+
+    rows = [(r.spec.params_dict, {**r.counters, **r.values})
+            for r in out.ok]
+    cells = aggregate_cells(rows) if rows else []
+    if cells:
+        print(render_table(
+            ["cell", "metric", "n", "mean", "ci95"],
+            [[", ".join(f"{k}={v}" for k, v in a.params.items()) or "-",
+              a.metric, a.n, f"{a.mean:.3f}",
+              "-" if a.n < 2 else f"±{a.half_width:.3f}"]
+             for a in cells],
+            title=f"campaign {campaign.name!r} aggregates",
+        ))
+    print(f"digest: {out.digest()}")
+    print(f"runs: {len(out.runs)}  ok: {len(out.ok)}  "
+          f"failed: {len(out.failures)}  cached: {out.n_cached}  "
+          f"wall: {out.wall_s:.2f}s")
+    for failure in out.failures:
+        print(f"  FAILED {failure.spec.label()}: {failure.error}",
+              file=sys.stderr)
+    return 1 if out.failures else 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="LiteView reproduction: interactive shell and "
+                    "campaign runner.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    shell = sub.add_parser("shell", help="interactive LiteView shell")
+    shell.add_argument("--seed", type=int, default=3)
+    shell.add_argument("--nodes", default="field",
+                       help="'field' (30 nodes) or 'chain:K'")
+
+    camp = sub.add_parser("campaign", help="run a simulation campaign")
+    camp.add_argument("--scenario", help="scenario cell (see --list)")
+    camp.add_argument("--name", default="cli")
+    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--repeats", type=int, default=1)
+    camp.add_argument("--workers", type=int, default=0,
+                      help="worker processes (default: all cores)")
+    camp.add_argument("--param", action="append", type=_parse_param,
+                      metavar="NAME=VALUE",
+                      help="fixed scenario parameter (repeatable)")
+    camp.add_argument("--grid", action="append", type=_parse_grid,
+                      metavar="NAME=V1,V2,...",
+                      help="swept parameter axis (repeatable)")
+    camp.add_argument("--cache", metavar="DIR",
+                      help="on-disk result cache directory")
+    camp.add_argument("--timeout", type=float, default=None,
+                      help="per-run timeout in seconds")
+    camp.add_argument("--retries", type=int, default=1,
+                      help="attempts per failing run (default 1)")
+    camp.add_argument("--list", action="store_true",
+                      help="list built-in scenarios and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backward compatibility: bare `python -m repro [--seed ...]` is the
+    # shell, exactly as before subcommands existed.
+    if not argv or argv[0].startswith("-"):
+        argv.insert(0, "shell")
+    args = _parser().parse_args(argv)
+    if args.command == "campaign":
+        return run_campaign_cli(args)
+    return run_shell(args)
 
 
 if __name__ == "__main__":

@@ -1,5 +1,10 @@
 """Analysis helpers: metric aggregation and table rendering."""
 
+from repro.analysis.aggregate import (
+    CellAggregate,
+    aggregate_cells,
+    mean_ci,
+)
 from repro.analysis.connectivity import (
     connected_pairs,
     max_clean_spacing,
@@ -21,6 +26,9 @@ from repro.analysis.metrics import (
 from repro.analysis.tables import render_kv, render_series, render_table
 
 __all__ = [
+    "CellAggregate",
+    "aggregate_cells",
+    "mean_ci",
     "received_power_matrix",
     "snr_matrix",
     "prr_matrix",

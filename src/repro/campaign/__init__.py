@@ -1,0 +1,48 @@
+"""Parallel campaign runner: sharded, seeded, cached simulation sweeps.
+
+The paper's evaluation methodology is a *campaign* — many independent
+seeded trials over a parameter grid.  This package makes campaigns a
+first-class object:
+
+* :class:`~repro.campaign.spec.Campaign` / :class:`~repro.campaign.
+  spec.RunSpec` — declarative grid × repeats expansion with per-run
+  seeds derived by SHA-256 (order- and worker-count-independent);
+* :func:`~repro.campaign.runner.run_campaign` — serial or
+  ``multiprocessing`` execution with per-run timeouts, bounded retries
+  and partial-result reporting;
+* :class:`~repro.campaign.cache.ResultCache` — on-disk results keyed by
+  (code fingerprint, scenario, params, seed), so re-runs only execute
+  changed or missing cells;
+* :mod:`~repro.campaign.scenarios` — the registry of spawn-safe
+  scenario cells shared by benches, examples and ``python -m repro
+  campaign``.
+
+The determinism contract: a sharded campaign is bit-for-bit identical
+to the serial one (see ``tests/integration/test_golden_determinism.py``).
+"""
+
+from repro.campaign.cache import ResultCache, code_fingerprint
+from repro.campaign.results import CampaignResult, RunResult
+from repro.campaign.runner import default_workers, execute_spec, run_campaign
+from repro.campaign.scenarios import (
+    resolve_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.campaign.spec import Campaign, RunSpec, derive_seed
+
+__all__ = [
+    "Campaign",
+    "RunSpec",
+    "derive_seed",
+    "RunResult",
+    "CampaignResult",
+    "ResultCache",
+    "code_fingerprint",
+    "run_campaign",
+    "execute_spec",
+    "default_workers",
+    "scenario",
+    "resolve_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,94 @@
+"""On-disk result cache: re-running a campaign only executes changed cells.
+
+A cell's cache key is a SHA-256 over four components:
+
+* the **code fingerprint** — a hash of every ``repro`` source file, so
+  any change to the simulator invalidates every cached result (results
+  are only reusable if the code that produced them is byte-identical);
+* the scenario reference;
+* the canonical parameter tuple;
+* the derived per-run seed.
+
+Entries are one JSON file each under ``<root>/<key[:2]>/<key>.json``;
+writes go through a same-directory temp file + ``os.replace`` so a
+killed worker never leaves a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import typing as _t
+
+from repro.campaign.results import RunResult
+from repro.campaign.spec import RunSpec, _canonical_json
+
+__all__ = ["ResultCache", "code_fingerprint"]
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over the sources of the installed ``repro`` package."""
+    import repro
+    root = pathlib.Path(repro.__file__).parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(path.read_bytes())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of :class:`RunResult` JSON blobs."""
+
+    def __init__(self, root: "str | os.PathLike", *,
+                 code_hash: str | None = None):
+        self.root = pathlib.Path(root)
+        self.code_hash = code_hash if code_hash is not None else code_fingerprint()
+
+    def key(self, spec: RunSpec) -> str:
+        payload = _canonical_json([
+            self.code_hash, spec.scenario,
+            sorted((str(k), v) for k, v in spec.params), spec.seed,
+        ])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> RunResult | None:
+        """The cached result for ``spec``, marked ``cached=True``; None on
+        miss or an unreadable/corrupt entry (treated as a miss)."""
+        path = self._path(self.key(spec))
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            return RunResult.from_dict(data, cached=True)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, result: RunResult) -> None:
+        """Store one successful run (failures are never cached)."""
+        if not result.ok:
+            return
+        path = self._path(self.key(result.spec))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(result.to_dict(), sort_keys=True))
+        os.replace(tmp, path)
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self._path(self.key(spec)).exists()
+
+
+def as_cache(cache: "_t.Union[ResultCache, str, os.PathLike, None]",
+             ) -> ResultCache | None:
+    """Accept a ResultCache, a directory path, or None."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

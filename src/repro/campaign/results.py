@@ -1,0 +1,131 @@
+"""Picklable per-run and per-campaign results.
+
+Workers run in separate processes, so everything they return must cross
+a pickle boundary: a :class:`RunResult` carries only plain data — the
+monitor's counter map, the metrics-registry snapshot, the order-
+sensitive packet-log digest, and whatever scalar observables the
+scenario computed — never live simulation objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing as _t
+from dataclasses import dataclass, field, replace
+
+from repro.campaign.spec import RunSpec
+
+__all__ = ["RunResult", "CampaignResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The outcome of one campaign cell, safe to pickle and cache."""
+
+    spec: RunSpec
+    counters: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)   # MetricsRegistry.snapshot()
+    values: dict = field(default_factory=dict)    # scenario observables
+    packet_sha256: str = ""
+    n_packets: int = 0
+    sim_time: float = 0.0
+    wall_s: float = 0.0
+    attempts: int = 1
+    error: str | None = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def value(self, name: str, default: object = None) -> object:
+        """An observable by name: scenario values first, then counters."""
+        if name in self.values:
+            return self.values[name]
+        return self.counters.get(name, default)
+
+    def digest_line(self) -> str:
+        """The run's contribution to the campaign digest."""
+        return repr((self.spec.scenario, self.spec.params,
+                     self.spec.replicate, self.spec.seed,
+                     self.packet_sha256, sorted(self.counters.items()),
+                     self.sim_time))
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "counters": dict(self.counters), "metrics": dict(self.metrics),
+            "values": dict(self.values), "packet_sha256": self.packet_sha256,
+            "n_packets": self.n_packets, "sim_time": self.sim_time,
+            "wall_s": self.wall_s, "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: _t.Mapping, *, cached: bool = False) -> "RunResult":
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            counters=dict(data.get("counters", {})),
+            metrics=dict(data.get("metrics", {})),
+            values=dict(data.get("values", {})),
+            packet_sha256=data.get("packet_sha256", ""),
+            n_packets=int(data.get("n_packets", 0)),
+            sim_time=float(data.get("sim_time", 0.0)),
+            wall_s=float(data.get("wall_s", 0.0)),
+            attempts=int(data.get("attempts", 1)),
+            error=data.get("error"), cached=cached,
+        )
+
+    def as_cached(self) -> "RunResult":
+        return replace(self, cached=True)
+
+
+@dataclass
+class CampaignResult:
+    """All runs of one campaign, in expansion order."""
+
+    name: str
+    runs: list[RunResult]
+    wall_s: float = 0.0
+    workers: int = 1
+
+    @property
+    def ok(self) -> list[RunResult]:
+        return [r for r in self.runs if r.ok]
+
+    @property
+    def failures(self) -> list[RunResult]:
+        return [r for r in self.runs if not r.ok]
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.runs if r.cached)
+
+    def digest(self) -> str:
+        """Order-sensitive digest over every run's seed, counters and
+        packet log — two campaigns agree iff every run agreed."""
+        h = hashlib.sha256()
+        for run in self.runs:
+            h.update(run.digest_line().encode())
+        return h.hexdigest()
+
+    def by_cell(self) -> dict[str, list[RunResult]]:
+        """Successful runs grouped by parameter cell, replicate-ordered."""
+        cells: dict[str, list[RunResult]] = {}
+        for run in self.ok:
+            cells.setdefault(run.spec.cell_key(), []).append(run)
+        for runs in cells.values():
+            runs.sort(key=lambda r: r.spec.replicate)
+        return cells
+
+    def aggregate(self, metrics: _t.Sequence[str] | None = None,
+                  confidence: float = 0.95):
+        """Per-cell mean/CI of named observables (see
+        :func:`repro.analysis.aggregate.aggregate_cells`)."""
+        from repro.analysis.aggregate import aggregate_cells
+        rows = [(run.spec.params_dict, {**run.counters, **run.values})
+                for run in self.ok]
+        return aggregate_cells(rows, metrics=metrics, confidence=confidence)
+
+    def __len__(self) -> int:
+        return len(self.runs)

@@ -1,0 +1,227 @@
+"""Execute a campaign: serially, or sharded across a worker pool.
+
+The runner owns everything *around* a run — cache lookups, process
+pools, per-run timeouts, bounded retries, progress reporting — while
+the run itself is a pure function of its :class:`RunSpec`: the worker
+re-imports the scenario by name, builds the world from the spec's
+derived seed, and returns a picklable :class:`RunResult`.  Because no
+run reads anything from another run (or from the parent process), the
+sharded campaign is bit-for-bit identical to the serial one; worker
+count only changes wall-clock.
+
+Failure handling is per-run, never campaign-fatal: an exception or a
+timeout becomes a ``RunResult`` with ``error`` set, the run is retried
+up to ``retries`` extra times, and whatever still fails is reported in
+``CampaignResult.failures`` alongside the successes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import sys
+import threading
+import time
+import traceback
+import typing as _t
+from dataclasses import replace
+
+from repro.campaign.cache import as_cache
+from repro.campaign.results import CampaignResult, RunResult
+from repro.campaign.scenarios import resolve_scenario
+from repro.campaign.spec import Campaign, RunSpec
+
+__all__ = ["run_campaign", "execute_spec", "default_workers"]
+
+#: Type of the optional progress callback: (done, total, result).
+ProgressFn = _t.Callable[[int, int, RunResult], None]
+
+
+def default_workers() -> int:
+    """A sensible pool size: the CPUs this process may actually use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+class _RunTimeout(Exception):
+    """Raised inside a worker when the per-run SIGALRM deadline fires."""
+
+
+def _call_with_timeout(fn: _t.Callable[[], object],
+                       timeout_s: float | None) -> object:
+    """Run ``fn`` under a SIGALRM deadline where the platform allows.
+
+    Pool workers execute tasks on their main thread, so the alarm is
+    available there; on platforms (or threads) without SIGALRM the run
+    simply executes unbounded rather than failing.
+    """
+    if (not timeout_s or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        return fn()
+
+    def _alarm(signum, frame):
+        raise _RunTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_spec(spec: RunSpec, timeout_s: float | None = None) -> RunResult:
+    """Build, run and snapshot one cell — the unit of work a worker does.
+
+    Never raises: scenario exceptions and timeouts come back as a
+    ``RunResult`` with ``error`` set so a single bad cell cannot take
+    down a whole shard.
+    """
+    start = time.perf_counter()
+    try:
+        fn = resolve_scenario(spec.scenario)
+        outcome = _call_with_timeout(
+            lambda: fn(spec.seed, **spec.params_dict), timeout_s)
+    except _RunTimeout:
+        return RunResult(spec=spec, wall_s=time.perf_counter() - start,
+                         error=f"timeout after {timeout_s:g}s")
+    except Exception:
+        return RunResult(spec=spec, wall_s=time.perf_counter() - start,
+                         error=traceback.format_exc(limit=8))
+
+    testbed, values = None, {}
+    if isinstance(outcome, tuple):
+        testbed, values = outcome
+    elif isinstance(outcome, dict):
+        values = outcome
+    else:
+        testbed = outcome
+
+    counters: dict[str, int] = {}
+    metrics: dict = {}
+    packet_sha256, n_packets, sim_time = "", 0, 0.0
+    if testbed is not None:
+        monitor = testbed.monitor
+        counters = dict(monitor.counters)
+        metrics = monitor.registry.snapshot()
+        packet_sha256 = monitor.packet_digest()
+        n_packets = len(monitor.packets)
+        sim_time = float(testbed.env.now)
+    return RunResult(
+        spec=spec, counters=counters, metrics=metrics,
+        values=dict(values or {}), packet_sha256=packet_sha256,
+        n_packets=n_packets, sim_time=sim_time,
+        wall_s=time.perf_counter() - start,
+    )
+
+
+def _pool_task(payload: tuple[int, dict, float | None],
+               ) -> tuple[int, RunResult]:
+    """Top-level pool target (spawn-safe: reachable by import)."""
+    index, spec_dict, timeout_s = payload
+    return index, execute_spec(RunSpec.from_dict(spec_dict), timeout_s)
+
+
+def _resolve_context(name: str):
+    """The start-method context to shard with, or None to run serially.
+
+    ``spawn``/``forkserver`` children re-import the parent's
+    ``__main__``; when that module has a recorded file that does not
+    exist on disk (a stdin-fed script, a REPL), every child would die at
+    startup and the pool would respawn them forever.  Detect that case
+    and degrade to ``fork`` where available, else to serial execution —
+    correctness never depends on the context, only wall-clock does.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if name not in methods:
+        return None
+    if name in ("spawn", "forkserver"):
+        main = sys.modules.get("__main__")
+        spec_name = getattr(getattr(main, "__spec__", None), "name", None)
+        main_file = getattr(main, "__file__", None)
+        if (spec_name is None and main_file is not None
+                and not os.path.exists(main_file)):
+            name = "fork" if "fork" in methods else None
+    return multiprocessing.get_context(name) if name else None
+
+
+def _run_batch(indexed: list[tuple[int, RunSpec]], workers: int,
+               timeout_s: float | None, mp_context: str,
+               ) -> _t.Iterator[tuple[int, RunResult]]:
+    """Yield (index, result) pairs as runs finish."""
+    ctx = _resolve_context(mp_context) if (
+        workers > 1 and len(indexed) > 1) else None
+    if ctx is None:
+        for index, spec in indexed:
+            yield index, execute_spec(spec, timeout_s)
+        return
+    payloads = [(i, spec.to_dict(), timeout_s) for i, spec in indexed]
+    with ctx.Pool(processes=min(workers, len(indexed))) as pool:
+        yield from pool.imap_unordered(_pool_task, payloads, chunksize=1)
+
+
+def run_campaign(campaign: Campaign, *, workers: int | None = 1,
+                 cache: object = None, timeout_s: float | None = None,
+                 retries: int = 1, progress: ProgressFn | None = None,
+                 mp_context: str = "spawn") -> CampaignResult:
+    """Execute every cell of ``campaign`` and return the ordered results.
+
+    ``workers=None`` uses :func:`default_workers`; ``workers=1`` runs
+    serially in-process (and is the reference the sharded paths are
+    bit-for-bit compared against).  ``cache`` is a
+    :class:`~repro.campaign.cache.ResultCache`, a directory path, or
+    None; hits skip execution entirely and come back ``cached=True``.
+    ``retries`` bounds *extra* attempts for a failed run.  ``progress``
+    is called as ``progress(done, total, result)`` once per settled run,
+    cached hits included.
+    """
+    if workers is None:
+        workers = default_workers()
+    specs = campaign.expand()
+    store = as_cache(cache)
+    started = time.perf_counter()
+
+    results: dict[int, RunResult] = {}
+    pending: list[tuple[int, RunSpec]] = []
+    total = len(specs)
+
+    def settle(index: int, result: RunResult) -> None:
+        results[index] = result
+        if progress is not None:
+            progress(len(results), total, result)
+
+    for index, spec in enumerate(specs):
+        hit = store.get(spec) if store is not None else None
+        if hit is not None:
+            settle(index, hit)
+        else:
+            pending.append((index, spec))
+
+    attempts_left = retries
+    attempt_no = 1
+    while pending:
+        retry: list[tuple[int, RunSpec]] = []
+        for index, result in _run_batch(pending, workers, timeout_s,
+                                        mp_context):
+            result = replace(result, attempts=attempt_no)
+            if not result.ok and attempts_left > 0:
+                retry.append((index, specs[index]))
+                continue
+            if result.ok and store is not None:
+                store.put(result)
+            settle(index, result)
+        if not retry:
+            break
+        pending, attempts_left, attempt_no = retry, attempts_left - 1, \
+            attempt_no + 1
+
+    return CampaignResult(
+        name=campaign.name,
+        runs=[results[i] for i in range(total)],
+        wall_s=time.perf_counter() - started,
+        workers=workers,
+    )

@@ -1,0 +1,309 @@
+"""The scenario registry and the built-in campaign cells.
+
+A *scenario* is a spawn-safe callable ``fn(seed, **params)`` that builds
+a world, runs it, and returns either the :class:`~repro.kernel.testbed.
+Testbed` (the runner snapshots its monitor) or a ``(testbed, values)``
+pair where ``values`` is a JSON-able dict of scalar observables.
+Scenarios are addressed by registry name or by a ``"module:function"``
+reference, so worker processes can re-import them after a ``spawn``
+start — never by closure.
+
+The built-ins below are the cells the figure benches, the sweep benches
+and the examples share: one traceroute experiment, one RSSI sweep at a
+power level, one overhead measurement at a hop count, one protocol-
+comparison ping run, one LQI-ablation run, and plain beaconing fields
+for throughput/scaling work.
+"""
+
+from __future__ import annotations
+
+import importlib
+import typing as _t
+
+__all__ = ["scenario", "resolve_scenario", "scenario_names"]
+
+_SCENARIOS: dict[str, _t.Callable] = {}
+
+
+def scenario(name: str) -> _t.Callable:
+    """Decorator: register a scenario under ``name``."""
+    def register(fn: _t.Callable) -> _t.Callable:
+        if name in _SCENARIOS and _SCENARIOS[name] is not fn:
+            raise ValueError(f"scenario {name!r} already registered")
+        _SCENARIOS[name] = fn
+        return fn
+    return register
+
+
+def resolve_scenario(ref: str) -> _t.Callable:
+    """A scenario by registry name or ``"module:function"`` reference."""
+    fn = _SCENARIOS.get(ref)
+    if fn is not None:
+        return fn
+    if ":" in ref:
+        module_name, _, qualname = ref.partition(":")
+        module = importlib.import_module(module_name)
+        obj: object = module
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        if not callable(obj):
+            raise TypeError(f"{ref!r} resolved to non-callable {obj!r}")
+        return obj
+    raise KeyError(
+        f"unknown scenario {ref!r}; registered: {scenario_names()} "
+        "(or pass a 'module:function' reference)"
+    )
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# Built-in cells
+# ---------------------------------------------------------------------------
+
+@scenario("beacon_field")
+def beacon_field(seed: int, *, nodes: int = 30, minutes: float = 1.0):
+    """A full LiteView field beaconing for ``minutes`` simulated minutes.
+
+    The throughput/scaling workload: no commands, just the kernel's
+    beacon traffic over the vectorized medium.
+    """
+    from repro.core.deploy import deploy_liteview
+    from repro.workloads import hundred_node_field, thirty_node_field
+    if nodes == 30:
+        testbed = thirty_node_field(seed=seed)
+    elif nodes == 100:
+        testbed = hundred_node_field(seed=seed)
+    else:
+        raise ValueError(f"beacon_field supports 30 or 100 nodes, got {nodes}")
+    deploy_liteview(testbed, warm_up=60.0 * minutes)
+    return testbed, {
+        "transmissions": testbed.monitor.counter("medium.transmissions"),
+    }
+
+
+@scenario("chain_beacons")
+def chain_beacons(seed: int, *, nodes: int = 5, seconds: float = 20.0,
+                  spacing: float = 60.0):
+    """A small deterministic chain beaconing for ``seconds`` — the cheap
+    cell the CI campaign smoke and the golden sharding tests use."""
+    from repro.core.deploy import deploy_liteview
+    from repro.workloads import build_chain
+    from repro.workloads.scenarios import QUIET_PROPAGATION
+    testbed = build_chain(int(nodes), spacing=spacing, seed=seed,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    deploy_liteview(testbed, warm_up=seconds)
+    return testbed, {
+        "transmissions": testbed.monitor.counter("medium.transmissions"),
+    }
+
+
+@scenario("fig5_traceroute")
+def fig5_traceroute(seed: int, *, attempts: int = 6, length: int = 32):
+    """Figure 5 — one 'typical experiment': the first traceroute over the
+    8-hop chain whose eight per-hop reports all arrive.
+
+    Reports travel with no retransmission, so an invocation occasionally
+    loses one; ``attempts`` bounds the retries within the one world.
+    Values: the per-hop arrival series plus completeness flags.
+    """
+    from repro.core.deploy import deploy_liteview
+    from repro.workloads import eight_hop_chain
+    testbed = eight_hop_chain(seed=seed)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    service = dep.traceroute_services[1]
+    result, used = None, 0
+    for attempt in range(attempts):
+        proc = testbed.env.process(
+            service.traceroute(9, rounds=1, length=length, routing_port=10)
+        )
+        result = testbed.env.run(until=proc)
+        used = attempt + 1
+        if result.reached_target and len(result.arrival_series_ms()) == 8:
+            break
+    series = result.arrival_series_ms()
+    return testbed, {
+        "series": [[h, d] for h, d in series],
+        "complete": len(series) == 8,
+        "reached_target": bool(result.reached_target),
+        "attempts_used": used,
+    }
+
+
+@scenario("fig6_rssi_sweep")
+def fig6_rssi_sweep(seed: int, *, power: int = 25, attempts: int = 8,
+                    length: int = 32):
+    """Figure 6 — per-hop forward/backward RSSI readings along the pinned
+    corridor chain at one PA ``power`` level.
+
+    Values: ``readings`` as ``[[hop, rssi_fwd, rssi_bwd], ...]`` from the
+    first traceroute whose eight hop reports all arrive.
+    """
+    from repro.core.deploy import deploy_liteview
+    from repro.workloads import corridor_chain
+    testbed = corridor_chain(9, seed=seed)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    service = dep.traceroute_services[1]
+    for node in testbed.nodes():
+        node.radio.set_power_level(int(power))
+    for _ in range(attempts):
+        proc = testbed.env.process(
+            service.traceroute(9, rounds=1, length=length, routing_port=10)
+        )
+        result = testbed.env.run(until=proc)
+        readings = sorted(
+            (h.hop_index, h.link.rssi_forward, h.link.rssi_backward)
+            for h in result.hops
+        )
+        if len(readings) == 8:
+            return testbed, {
+                "readings": [list(r) for r in readings], "complete": True,
+            }
+    return testbed, {"readings": [list(r) for r in readings],
+                     "complete": False}
+
+
+@scenario("fig7_overhead")
+def fig7_overhead(seed: int, *, hops: int = 8, probes: int = 3,
+                  length: int = 32):
+    """Figure 7 — control-packet cost of a traceroute over ``hops`` hops.
+
+    Runs complete (target-reaching) traceroutes until ``probes`` costs
+    are collected and reports their median, the way the bench and the
+    paper summarise one chain length.
+    """
+    from repro.analysis import packets_between
+    from repro.core.deploy import deploy_liteview
+    from repro.workloads import build_chain
+    from repro.workloads.scenarios import QUIET_PROPAGATION
+    testbed = build_chain(hops + 1, spacing=60.0, seed=seed,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    service = dep.traceroute_services[1]
+    costs: list[int] = []
+    guard = probes * 8
+    while len(costs) < probes and guard:
+        guard -= 1
+        start = testbed.env.now
+        proc = testbed.env.process(
+            service.traceroute(hops + 1, rounds=1, length=length,
+                               routing_port=10)
+        )
+        result = testbed.env.run(until=proc)
+        if result.reached_target:
+            costs.append(len(packets_between(
+                testbed.monitor, start, testbed.env.now)))
+    costs.sort()
+    return testbed, {
+        "costs": costs,
+        "median_packets": costs[len(costs) // 2] if costs else None,
+    }
+
+
+@scenario("protocol_ping")
+def protocol_ping(seed: int, *, protocol: str = "geographic",
+                  rounds: int = 8, chain: int = 5, length: int = 16):
+    """One protocol-comparison cell: the identical multi-hop ping command
+    measured over one of the co-installed routing protocols.
+
+    All four protocols are installed side by side (the paper's §IV-A.1
+    setup); ``protocol`` picks which port the unmodified ping binary
+    probes.  The collection tree has no reply path, so its cell measures
+    one-way delivery instead.
+    """
+    from repro.analysis import packets_between
+    from repro.core.deploy import deploy_liteview
+    from repro.net import (
+        TREE_PORT,
+        DsdvRouting,
+        FloodingProtocol,
+        GeographicForwarding,
+        TreeRouting,
+        WellKnownPorts,
+    )
+    from repro.workloads import build_chain
+    from repro.workloads.scenarios import QUIET_PROPAGATION
+    ports = {
+        "geographic": WellKnownPorts.GEOGRAPHIC,
+        "dsdv": WellKnownPorts.DSDV,
+        "tree": TREE_PORT,
+        "flooding": WellKnownPorts.FLOODING,
+    }
+    if protocol not in ports:
+        raise ValueError(f"unknown protocol {protocol!r} "
+                         f"(one of {sorted(ports)})")
+    testbed = build_chain(chain, spacing=60.0, seed=seed,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    target = chain
+    for node in testbed.nodes():
+        node.install_protocol(GeographicForwarding)
+        node.install_protocol(DsdvRouting)
+        node.install_protocol(TreeRouting, root=target)
+        node.install_protocol(FloodingProtocol)
+    dep = deploy_liteview(testbed, protocol=None, warm_up=40.0)
+    port = ports[protocol]
+    start = testbed.env.now
+    if protocol == "tree":
+        got: list[object] = []
+        testbed.node(target).stack.ports.subscribe(
+            66, lambda p, a: got.append(p), name="collect")
+        proto = testbed.node(1).protocol_on(port)
+        for _ in range(rounds):
+            proto.send(target, 66, b"collected-data", kind="tree")
+            testbed.warm_up(0.2)
+        received, mean_rtt = len(got), None
+    else:
+        service = dep.ping_services[1]
+        proc = testbed.env.process(
+            service.ping(target, rounds=rounds, length=length,
+                         routing_port=port)
+        )
+        result = testbed.env.run(until=proc)
+        received, mean_rtt = result.received, result.mean_rtt_ms
+    packets = packets_between(testbed.monitor, start, testbed.env.now)
+    return testbed, {
+        "received": received, "rounds": rounds,
+        "mean_rtt_ms": mean_rtt, "packets": len(packets),
+    }
+
+
+@scenario("lqi_ablation")
+def lqi_ablation(seed: int, *, min_lqi: float = 90.0, rounds: int = 20,
+                 chain: int = 7, spacing: float = 46.0):
+    """The routing layer's link-quality-filter ablation: multi-hop pings
+    over a chain whose two-hop 'shortcuts' sit in the gray region.
+
+    Values: delivered round count, mean RTT of delivered rounds, and the
+    non-beacon radio-packet cost of the whole run.
+    """
+    from repro.analysis import packets_between
+    from repro.core.commands.ping import install_ping
+    from repro.net import GeographicForwarding
+    from repro.workloads import build_chain
+    from repro.workloads.scenarios import QUIET_PROPAGATION
+    testbed = build_chain(chain, spacing=spacing, seed=seed,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    testbed.install_protocol_everywhere(
+        GeographicForwarding, min_lqi=min_lqi
+    )
+    pings = {n.id: install_ping(n) for n in testbed.nodes()}
+    testbed.warm_up(20.0)
+    start = testbed.env.now
+    delivered, rtts = 0, []
+    for _ in range(rounds):
+        proc = testbed.env.process(
+            pings[1].ping(chain, rounds=1, length=16, routing_port=10)
+        )
+        result = testbed.env.run(until=proc)
+        if result.received:
+            delivered += 1
+            rtts.append(result.rounds[0].rtt_ms)
+    packets = packets_between(testbed.monitor, start, testbed.env.now)
+    return testbed, {
+        "delivered": delivered, "rounds": rounds,
+        "mean_rtt_ms": (sum(rtts) / len(rtts)) if rtts else None,
+        "packets": len(packets),
+    }

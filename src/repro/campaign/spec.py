@@ -1,0 +1,164 @@
+"""Declarative campaign specifications and deterministic seed derivation.
+
+The paper's evaluation is not one simulation but a *campaign* of them:
+dozens of independent seeded trials over a parameter grid (power levels,
+hop counts, protocols, LQI thresholds).  A :class:`Campaign` declares
+that grid once — scenario, base parameters, swept parameters, replicate
+count, master seed — and :meth:`Campaign.expand` turns it into the flat,
+ordered list of :class:`RunSpec` cells the runner executes.
+
+The determinism contract lives here: a run's seed is a pure function of
+``(campaign seed, scenario, parameter tuple, replicate index)``, hashed
+with SHA-256.  It never depends on expansion order, worker count or
+shard assignment, so a campaign sharded across processes is bit-for-bit
+identical to the same campaign run serially — the property the golden
+determinism suite asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import typing as _t
+from dataclasses import dataclass, field
+
+__all__ = ["RunSpec", "Campaign", "derive_seed", "canonical_params"]
+
+#: Seeds are 63-bit non-negative ints (RngRegistry requires >= 0).
+_SEED_BITS = 63
+
+
+def canonical_params(params: _t.Mapping[str, object]) -> tuple:
+    """Parameters as a sorted, hashable ``((name, value), ...)`` tuple.
+
+    Values must be JSON-representable scalars/lists so the encoding — and
+    therefore every derived seed and cache key — is stable across
+    processes and Python versions.
+    """
+    return tuple(sorted(params.items()))
+
+
+def _canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variation."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(campaign_seed: int, scenario: str,
+                params: _t.Mapping[str, object], replicate: int) -> int:
+    """The seed for one run, independent of execution order.
+
+    SHA-256 over the canonical JSON encoding of the identifying tuple,
+    truncated to 63 bits.  Two campaigns sharing a cell (same scenario,
+    params, replicate, campaign seed) derive the same seed; changing any
+    component decorrelates the whole stream family.
+    """
+    payload = _canonical_json([
+        int(campaign_seed), str(scenario),
+        sorted((str(k), v) for k, v in params.items()), int(replicate),
+    ])
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> (64 - _SEED_BITS)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of a campaign: a scenario, its parameters, and a seed."""
+
+    scenario: str
+    params: tuple = ()          # canonical ((name, value), ...) tuple
+    replicate: int = 0
+    seed: int = 0
+    campaign: str = ""
+
+    @property
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def cell_key(self) -> str:
+        """Stable id of the parameter cell (replicates share it)."""
+        return _canonical_json(sorted((str(k), v) for k, v in self.params))
+
+    def label(self) -> str:
+        """Human-readable one-liner for progress output."""
+        parts = [f"{k}={v}" for k, v in self.params]
+        parts.append(f"rep={self.replicate}")
+        return f"{self.scenario}({', '.join(parts)})"
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario, "params": [list(p) for p in self.params],
+            "replicate": self.replicate, "seed": self.seed,
+            "campaign": self.campaign,
+        }
+
+    @classmethod
+    def from_dict(cls, data: _t.Mapping) -> "RunSpec":
+        return cls(
+            scenario=data["scenario"],
+            params=tuple((k, v) for k, v in data["params"]),
+            replicate=int(data["replicate"]), seed=int(data["seed"]),
+            campaign=data.get("campaign", ""),
+        )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A declarative set of runs: grid × repeats over one scenario.
+
+    ``scenario`` names a registered scenario (see
+    :mod:`repro.campaign.scenarios`) or a ``"module:function"`` dotted
+    reference importable by worker processes.  ``base_params`` apply to
+    every run; ``grid`` maps parameter names to value lists and expands
+    to their cartesian product; each cell is repeated ``repeats`` times
+    with replicate indices ``0..repeats-1``.
+    """
+
+    name: str
+    scenario: str
+    seed: int = 0
+    base_params: _t.Mapping[str, object] = field(default_factory=dict)
+    grid: _t.Mapping[str, _t.Sequence[object]] = field(default_factory=dict)
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        overlap = set(self.base_params) & set(self.grid)
+        if overlap:
+            raise ValueError(
+                f"parameters {sorted(overlap)} appear in both base_params "
+                "and grid"
+            )
+
+    def cells(self) -> list[dict]:
+        """The parameter dicts of the grid's cartesian product, in
+        deterministic (sorted-name, given-value-order) order."""
+        names = sorted(self.grid)
+        out = []
+        for combo in itertools.product(*(self.grid[n] for n in names)):
+            params = dict(self.base_params)
+            params.update(zip(names, combo))
+            out.append(params)
+        return out or [dict(self.base_params)]
+
+    def expand(self) -> list[RunSpec]:
+        """The flat ordered run list: every grid cell × every replicate."""
+        specs = []
+        for params in self.cells():
+            canonical = canonical_params(params)
+            for replicate in range(self.repeats):
+                specs.append(RunSpec(
+                    scenario=self.scenario, params=canonical,
+                    replicate=replicate,
+                    seed=derive_seed(self.seed, self.scenario, params,
+                                     replicate),
+                    campaign=self.name,
+                ))
+        return specs
+
+    def __len__(self) -> int:
+        n_cells = 1
+        for values in self.grid.values():
+            n_cells *= len(values)
+        return n_cells * self.repeats

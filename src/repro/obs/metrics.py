@@ -38,6 +38,14 @@ class Counter:
             raise ValueError(f"counter {self.name!r}: negative increment")
         self.value += amount
 
+    # __slots__ classes need explicit state for the oldest pickle
+    # protocols; campaign workers ship metrics across process boundaries.
+    def __getstate__(self):
+        return (self.name, self.value)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.value = state
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Counter {self.name}={self.value}>"
 
@@ -53,6 +61,12 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self.value = float(value)
+
+    def __getstate__(self):
+        return (self.name, self.value)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.value = state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Gauge {self.name}={self.value}>"
@@ -120,6 +134,12 @@ class Histogram:
         """The raw samples, in observation order is *not* guaranteed
         (percentile queries sort in place); use for distribution checks."""
         return list(self._values)
+
+    def __getstate__(self):
+        return (self.name, self._values, self._sorted)
+
+    def __setstate__(self, state) -> None:
+        self.name, self._values, self._sorted = state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count}>"
@@ -221,6 +241,12 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         self._metrics.clear()
+
+    def __getstate__(self):
+        return self._metrics
+
+    def __setstate__(self, state) -> None:
+        self._metrics = state
 
     def __len__(self) -> int:
         return len(self._metrics)

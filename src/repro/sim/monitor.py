@@ -17,6 +17,7 @@ benches and tests read series exactly as before.
 
 from __future__ import annotations
 
+import hashlib
 import typing as _t
 from collections import defaultdict
 from dataclasses import dataclass
@@ -155,6 +156,40 @@ class Monitor:
         if predicate is not None:
             records = (r for r in records if predicate(r))
         return sum(1 for _ in records)
+
+    def packet_digest(self) -> str:
+        """Order-sensitive SHA-256 of the full packet log.
+
+        The bit-for-bit identity the golden-determinism suite and the
+        campaign runner compare: two runs share a digest iff every
+        transmission matched in time (exact float), endpoints, kind,
+        port, size and delivery outcome, in the same order.
+        """
+        h = hashlib.sha256()
+        for r in self.packets:
+            h.update(repr((r.time.hex(), r.sender, r.receiver, r.kind,
+                           r.port, r.size_bytes, r.delivered)).encode())
+        return h.hexdigest()
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data dump of everything collected — picklable and
+        JSON-ready, for cross-process return from campaign workers.
+
+        ``counters``/``gauges``/``histograms`` mirror
+        :meth:`MetricsRegistry.snapshot`; the packet log is summarised
+        as its count and order-sensitive digest rather than shipped
+        record by record.
+        """
+        snap = self.registry.snapshot()
+        snap["series"] = {
+            name: [[s.time, s.value] for s in samples]
+            for name, samples in sorted(self._series.items()) if samples
+        }
+        snap["n_packets"] = len(self.packets)
+        snap["packet_sha256"] = self.packet_digest()
+        return snap
 
     def reset(self) -> None:
         """Clear all collected data (counters, series and packet log)."""

@@ -1,0 +1,146 @@
+"""Runner behaviour: sharding, caching, failures, timeouts, progress.
+
+The expensive bit-for-bit sharded-vs-serial campaign assertion lives
+with the golden determinism suite
+(``tests/integration/test_golden_determinism.py``); these tests cover
+the runner's mechanics on campaigns small enough to stay fast.
+"""
+
+import pickle
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    ResultCache,
+    RunResult,
+    execute_spec,
+    run_campaign,
+    scenario_names,
+)
+from repro.campaign.cache import code_fingerprint
+
+TINY = Campaign(
+    name="tiny", scenario="chain_beacons", seed=5,
+    base_params={"seconds": 5.0}, grid={"nodes": [3, 4]}, repeats=1,
+)
+
+
+def test_execute_spec_returns_plain_picklable_result():
+    spec = TINY.expand()[0]
+    result = execute_spec(spec)
+    assert result.ok
+    assert result.counters["medium.transmissions"] > 0
+    assert result.packet_sha256 and result.n_packets > 0
+    assert result.sim_time > 0
+    assert result.metrics["counters"] == result.counters
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone == result
+
+
+def test_serial_campaign_results_in_expansion_order():
+    out = run_campaign(TINY, workers=1)
+    assert [r.spec for r in out.runs] == TINY.expand()
+    assert out.failures == []
+    assert out.wall_s > 0 and out.workers == 1
+
+
+def test_run_twice_is_identical():
+    assert run_campaign(TINY, workers=1).digest() == \
+        run_campaign(TINY, workers=1).digest()
+
+
+def test_cache_hits_skip_execution_and_preserve_results(tmp_path):
+    first = run_campaign(TINY, workers=1, cache=tmp_path)
+    assert first.n_cached == 0
+    second = run_campaign(TINY, workers=1, cache=tmp_path)
+    assert second.n_cached == len(second.runs)
+    assert second.digest() == first.digest()
+    for a, b in zip(first.runs, second.runs):
+        assert b.cached and b.as_cached() == b
+        assert (a.counters, a.packet_sha256, a.values, a.sim_time) == \
+            (b.counters, b.packet_sha256, b.values, b.sim_time)
+
+
+def test_cache_key_includes_code_fingerprint(tmp_path):
+    run_campaign(TINY, workers=1, cache=tmp_path)
+    stale = ResultCache(tmp_path, code_hash="different-code")
+    assert run_campaign(TINY, workers=1, cache=stale).n_cached == 0
+    fresh = ResultCache(tmp_path, code_hash=code_fingerprint())
+    assert run_campaign(TINY, workers=1,
+                        cache=fresh).n_cached == len(TINY.expand())
+
+
+def test_cache_ignores_corrupt_entries(tmp_path):
+    run_campaign(TINY, workers=1, cache=tmp_path)
+    for path in tmp_path.rglob("*.json"):
+        path.write_text("{not json")
+    again = run_campaign(TINY, workers=1, cache=tmp_path)
+    assert again.n_cached == 0 and again.failures == []
+
+
+def test_failed_runs_are_reported_not_fatal():
+    bad = Campaign(name="bad", scenario="beacon_field", seed=1,
+                   grid={"nodes": [3, 7]})  # both unsupported sizes
+    out = run_campaign(bad, workers=1, retries=2)
+    assert len(out.failures) == 2 and out.ok == []
+    for run in out.failures:
+        assert run.attempts == 3          # 1 try + 2 retries, then settle
+        assert "beacon_field supports" in run.error
+    # Failures are never written to a cache.
+    assert not out.runs[0].cached
+
+
+def test_per_run_timeout_becomes_an_error_result():
+    slow = Campaign(name="slow", scenario="beacon_field", seed=1,
+                    base_params={"nodes": 30, "minutes": 60.0})
+    out = run_campaign(slow, workers=1, timeout_s=0.2, retries=0)
+    assert len(out.failures) == 1
+    assert "timeout" in out.failures[0].error
+
+
+def test_progress_callback_sees_every_run(tmp_path):
+    seen = []
+    run_campaign(TINY, workers=1, cache=tmp_path,
+                 progress=lambda done, total, r: seen.append((done, total,
+                                                              r.cached)))
+    assert [s[:2] for s in seen] == [(1, 2), (2, 2)]
+    assert all(not cached for _, _, cached in seen)
+    seen.clear()
+    run_campaign(TINY, workers=1, cache=tmp_path,
+                 progress=lambda done, total, r: seen.append((done, total,
+                                                              r.cached)))
+    assert all(cached for _, _, cached in seen)
+
+
+def test_unknown_scenario_is_a_per_run_error():
+    out = run_campaign(Campaign(name="x", scenario="nope", seed=0),
+                       workers=1, retries=0)
+    assert len(out.failures) == 1
+    assert "unknown scenario" in out.failures[0].error
+
+
+def test_builtin_scenarios_registered():
+    names = scenario_names()
+    for expected in ("beacon_field", "chain_beacons", "fig5_traceroute",
+                     "fig6_rssi_sweep", "fig7_overhead", "protocol_ping",
+                     "lqi_ablation"):
+        assert expected in names
+
+
+def test_result_value_lookup_prefers_scenario_values():
+    result = RunResult(spec=TINY.expand()[0],
+                       counters={"x": 1, "only_counter": 7},
+                       values={"x": 2.5})
+    assert result.value("x") == 2.5
+    assert result.value("only_counter") == 7
+    assert result.value("missing", -1) == -1
+
+
+@pytest.mark.slow
+def test_sharded_spawn_pool_matches_serial():
+    """Two spawn workers produce byte-identical results to in-process
+    serial execution (the cheap version of the golden assertion)."""
+    serial = run_campaign(TINY, workers=1)
+    sharded = run_campaign(TINY, workers=2, mp_context="spawn")
+    assert sharded.digest() == serial.digest()

@@ -17,6 +17,7 @@ import pathlib
 
 import pytest
 
+from repro.campaign import Campaign, run_campaign
 from repro.core.deploy import deploy_liteview
 from repro.workloads import QUIET_PROPAGATION, thirty_node_field
 from repro.workloads.topologies import build_chain
@@ -27,7 +28,9 @@ GOLDEN = json.loads(GOLDEN_PATH.read_text())
 
 
 def _packet_digest(monitor) -> str:
-    """Order-sensitive digest of the full packet log."""
+    """Order-sensitive digest of the full packet log (the reference
+    implementation :meth:`Monitor.packet_digest` must keep matching —
+    the fixture hashes were captured with this exact encoding)."""
     h = hashlib.sha256()
     for r in monitor.packets:
         h.update(repr((r.time.hex(), r.sender, r.receiver, r.kind,
@@ -36,6 +39,7 @@ def _packet_digest(monitor) -> str:
 
 
 def _snapshot(testbed) -> dict:
+    assert testbed.monitor.packet_digest() == _packet_digest(testbed.monitor)
     return {
         "counters": dict(sorted(testbed.monitor.counters.items())),
         "n_packets": len(testbed.monitor.packets),
@@ -79,3 +83,45 @@ def test_chain_ping_matches_golden():
 def test_same_seed_twice_is_identical():
     """Two fresh runs from one seed agree in every recorded detail."""
     assert run_thirty(5) == run_thirty(5)
+
+
+# -- campaigns: sharded == serial == golden ---------------------------------
+
+GOLDEN_CAMPAIGN = Campaign(
+    name="golden", scenario="chain_beacons", seed=11,
+    base_params={"seconds": 15.0}, grid={"nodes": [3, 4]}, repeats=1,
+)
+
+
+def _campaign_fixture_view(result) -> dict:
+    return {
+        "digest": result.digest(),
+        "runs": [
+            {"seed": r.spec.seed,
+             "params": [list(p) for p in r.spec.params],
+             "counters": dict(sorted(r.counters.items())),
+             "packet_sha256": r.packet_sha256, "n_packets": r.n_packets,
+             "sim_time": r.sim_time.hex()}
+            for r in result.runs
+        ],
+    }
+
+
+def test_serial_campaign_matches_golden():
+    """Per-run seeds, counters and packet digests of a seeded campaign
+    reproduce the captured fixture exactly."""
+    out = run_campaign(GOLDEN_CAMPAIGN, workers=1)
+    assert out.failures == []
+    assert _campaign_fixture_view(out) == \
+        GOLDEN["campaign_chain_beacons_seed11"]
+
+
+@pytest.mark.slow
+def test_sharded_campaign_is_bit_for_bit_serial():
+    """The campaign sharded over a 2-worker spawn pool is bit-for-bit
+    identical to the serial reference *and* to the golden capture: seed
+    derivation never depends on worker count or shard order."""
+    sharded = run_campaign(GOLDEN_CAMPAIGN, workers=2, mp_context="spawn")
+    assert sharded.failures == []
+    assert _campaign_fixture_view(sharded) == \
+        GOLDEN["campaign_chain_beacons_seed11"]
