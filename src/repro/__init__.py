@@ -13,6 +13,8 @@ The package reproduces the LiteView toolkit in simulation:
 * :mod:`repro.core` — LiteView itself: ping, traceroute, neighborhood
   management, radio configuration, reliable control channel, shell
 * :mod:`repro.workloads` — topologies and canned scenarios
+* :mod:`repro.faults` — deterministic fault injection: declarative
+  plans of crashes, degraded links, interference, corruption
 * :mod:`repro.analysis` — metrics aggregation and table rendering
 
 Quickstart::
@@ -37,6 +39,7 @@ from repro.core import (
     install_ping,
     install_traceroute,
 )
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, install_faults
 from repro.kernel import SensorNode, Testbed
 from repro.net import WellKnownPorts
 from repro.obs import MetricsRegistry, SimProfiler, Tracer
@@ -56,6 +59,10 @@ __all__ = [
     "install_ping",
     "install_traceroute",
     "WellKnownPorts",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "install_faults",
     "Environment",
     "Monitor",
     "RngRegistry",

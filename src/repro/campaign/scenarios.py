@@ -87,17 +87,65 @@ def beacon_field(seed: int, *, nodes: int = 30, minutes: float = 1.0):
 
 @scenario("chain_beacons")
 def chain_beacons(seed: int, *, nodes: int = 5, seconds: float = 20.0,
-                  spacing: float = 60.0):
+                  spacing: float = 60.0, fault_plan: object = None):
     """A small deterministic chain beaconing for ``seconds`` — the cheap
-    cell the CI campaign smoke and the golden sharding tests use."""
+    cell the CI campaign smoke and the golden sharding tests use.
+
+    ``fault_plan`` (canonical JSON or ``None``) injects faults before
+    the run starts; ``None`` leaves the world byte-identical to the
+    historical plan-free cell.
+    """
     from repro.core.deploy import deploy_liteview
+    from repro.faults import install_faults
     from repro.workloads import build_chain
     from repro.workloads.scenarios import QUIET_PROPAGATION
     testbed = build_chain(int(nodes), spacing=spacing, seed=seed,
                           propagation_kwargs=QUIET_PROPAGATION)
+    install_faults(testbed, fault_plan)
     deploy_liteview(testbed, warm_up=seconds)
     return testbed, {
         "transmissions": testbed.monitor.counter("medium.transmissions"),
+    }
+
+
+@scenario("chaos_chain")
+def chaos_chain(seed: int, *, nodes: int = 8, fault_plan: object = None,
+                rounds: int = 4, length: int = 16, spacing: float = 60.0):
+    """The chaos cell: a chain runs ping and traceroute *through* a fault
+    plan and reports what the diagnosis tooling saw.
+
+    Deployment warm-up takes the first 15 simulated seconds, so plans
+    should schedule faults at ``at >= 15`` to hit the command phase.
+    Commands may fail — that is the point — but they always return;
+    values record delivery counts, traceroute reach, and the injector's
+    activation tally.
+    """
+    from repro.core.deploy import deploy_liteview
+    from repro.faults import install_faults
+    from repro.workloads import build_chain
+    from repro.workloads.scenarios import QUIET_PROPAGATION
+    testbed = build_chain(int(nodes), spacing=spacing, seed=seed,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    injector = install_faults(testbed, fault_plan)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    target = int(nodes)
+    proc = testbed.env.process(
+        dep.ping_services[1].ping(target, rounds=rounds, length=length,
+                                  routing_port=10)
+    )
+    ping_result = testbed.env.run(until=proc)
+    proc = testbed.env.process(
+        dep.traceroute_services[1].traceroute(target, rounds=1,
+                                              length=length,
+                                              routing_port=10)
+    )
+    tr_result = testbed.env.run(until=proc)
+    return testbed, {
+        "ping_received": int(ping_result.received),
+        "ping_rounds": int(rounds),
+        "reached_target": bool(tr_result.reached_target),
+        "hops_reported": len(tr_result.hops),
+        "activations": dict(injector.activations) if injector else {},
     }
 
 

@@ -112,6 +112,14 @@ class Campaign:
     every run; ``grid`` maps parameter names to value lists and expands
     to their cartesian product; each cell is repeated ``repeats`` times
     with replicate indices ``0..repeats-1``.
+
+    ``fault_plan`` makes chaos a first-class campaign dimension: the
+    plan (a :class:`~repro.faults.spec.FaultPlan`, its canonical JSON,
+    or a mapping) is folded into every cell as an ordinary
+    ``fault_plan`` parameter, so derived seeds and cache keys change
+    with the plan automatically and sharded execution stays
+    bit-identical to serial.  ``None`` (the default) adds nothing —
+    cell encodings, seeds and caches are exactly the plan-free ones.
     """
 
     name: str
@@ -120,6 +128,7 @@ class Campaign:
     base_params: _t.Mapping[str, object] = field(default_factory=dict)
     grid: _t.Mapping[str, _t.Sequence[object]] = field(default_factory=dict)
     repeats: int = 1
+    fault_plan: object = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -130,17 +139,32 @@ class Campaign:
                 f"parameters {sorted(overlap)} appear in both base_params "
                 "and grid"
             )
+        if self.fault_plan is not None and (
+                "fault_plan" in self.base_params or "fault_plan" in self.grid):
+            raise ValueError(
+                "pass the fault plan either as Campaign.fault_plan or as a "
+                "'fault_plan' parameter, not both"
+            )
+
+    def _fault_params(self) -> dict:
+        """The injected ``fault_plan`` cell parameter (empty when none)."""
+        if self.fault_plan is None:
+            return {}
+        from repro.faults.spec import FaultPlan
+        return {"fault_plan": FaultPlan.from_param(self.fault_plan).to_param()}
 
     def cells(self) -> list[dict]:
         """The parameter dicts of the grid's cartesian product, in
         deterministic (sorted-name, given-value-order) order."""
         names = sorted(self.grid)
+        fault_params = self._fault_params()
         out = []
         for combo in itertools.product(*(self.grid[n] for n in names)):
             params = dict(self.base_params)
+            params.update(fault_params)
             params.update(zip(names, combo))
             out.append(params)
-        return out or [dict(self.base_params)]
+        return out or [dict(self.base_params) | fault_params]
 
     def expand(self) -> list[RunSpec]:
         """The flat ordered run list: every grid cell × every replicate."""

@@ -27,7 +27,7 @@ from repro.core.serialize import (
     encode_trace_result,
 )
 from repro.core.wire import MsgType
-from repro.errors import ReproError
+from repro.errors import ReliableTransferError, ReproError
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.node import SensorNode
@@ -109,8 +109,11 @@ class RuntimeController:
             status, reply = Status.ERROR, str(exc).encode()[:48]
         payload = (bytes([MsgType.REPLY])
                    + struct.pack(">HB", request_id, status) + reply)
-        delivered = yield from self.endpoint.send(origin, payload)
-        if not delivered:
+        try:
+            yield from self.endpoint.send(origin, payload)
+        except ReliableTransferError:
+            # The workstation fell out of reach mid-exchange; an
+            # unanswered reply must not crash the controller thread.
             self.node.monitor.count("controller.reply_failures")
         if self._post_reply is not None:
             action, self._post_reply = self._post_reply, None

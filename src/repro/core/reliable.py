@@ -30,7 +30,7 @@ import typing as _t
 from collections import OrderedDict
 
 from repro.core.wire import MsgType
-from repro.errors import HeaderError
+from repro.errors import HeaderError, ReliableTransferError
 from repro.net.packet import Packet
 from repro.net.ports import WellKnownPorts
 from repro.radio.medium import FrameArrival
@@ -67,7 +67,8 @@ class ReliableEndpoint:
                  max_attempts: int = 10,
                  initial_batch: int = 4,
                  min_batch: int = 1,
-                 max_batch: int = 8):
+                 max_batch: int = 8,
+                 backoff_cap: float = 8.0):
         if not 1 <= min_batch <= initial_batch <= max_batch <= MAX_CHUNKS:
             raise ValueError("require 1 <= min <= initial <= max <= 32")
         self.node = node
@@ -77,6 +78,13 @@ class ReliableEndpoint:
         self.max_attempts = int(max_attempts)
         self.min_batch = min_batch
         self.max_batch = max_batch
+        if backoff_cap < 1.0:
+            raise ValueError("backoff cap must be >= 1")
+        #: Ceiling on the exponential ack-deadline multiplier.
+        self.backoff_cap = float(backoff_cap)
+        #: Jitter stream, created on the *first timeout* only — clean
+        #: runs never touch it, so adding backoff left goldens intact.
+        self._backoff_rng = None
         #: Current batch size per peer — the protocol's link-quality
         #: adaptation state.
         self._batch: dict[int, int] = {}
@@ -98,7 +106,17 @@ class ReliableEndpoint:
         """Reliably deliver ``payload`` to ``dest`` (one hop away).
 
         A generator to run inside a process; returns True when every
-        chunk was acknowledged, False when attempts ran out.
+        chunk was acknowledged and raises
+        :class:`~repro.errors.ReliableTransferError` when the bounded
+        retry budget runs out — a dead peer costs a typed exception
+        within the budget, never an infinite wait.
+
+        Retries back off: each attempt without progress doubles the ack
+        deadline (capped at ``backoff_cap`` times the base) and adds up
+        to 25% jitter so synchronised senders desynchronise.  The first
+        attempt's deadline is exactly the historical one, and the jitter
+        stream is only created after a timeout, so loss-free runs are
+        bit-identical to the pre-backoff protocol.
         """
         if not payload:
             raise ValueError("refusing to send an empty message")
@@ -115,10 +133,16 @@ class ReliableEndpoint:
         total = len(chunks)
         pending = set(range(total))
         attempts = 0
+        stalls = 0  # consecutive attempts without progress
+        last_deadline = 0.0
+        deadlines: list[float] = []
         while pending:
             if attempts >= self.max_attempts:
                 node.monitor.count("reliable.aborts")
-                return False
+                raise ReliableTransferError(
+                    dest=dest, attempts=attempts, pending=len(pending),
+                    total=total, backoff_delays=tuple(deadlines),
+                )
             attempts += 1
             batch = sorted(pending)[: self.batch_size(dest)]
             for offset, index in enumerate(batch):
@@ -136,6 +160,16 @@ class ReliableEndpoint:
             waiter = Event(node.env)
             self._ack_waiters[(dest, xfer)] = waiter
             deadline = self.ack_timeout + 0.003 * len(batch)
+            if stalls:
+                deadline *= min(2.0 ** stalls, self.backoff_cap)
+                deadline *= 1.0 + 0.25 * float(self._jitter_rng().random())
+                # Batch shrinkage and capped jitter could otherwise dip
+                # below an earlier deadline; the clamp guarantees a
+                # stall run's deadlines are monotone non-decreasing.
+                if deadline < last_deadline:
+                    deadline = last_deadline
+            last_deadline = deadline
+            deadlines.append(deadline)
             outcome = yield node.env.any_of(
                 [waiter, node.env.timeout(deadline, value="timeout")]
             )
@@ -144,6 +178,7 @@ class ReliableEndpoint:
             if values == ["timeout"]:
                 node.monitor.count("reliable.ack_timeouts")
                 self._shrink(dest)
+                stalls += 1
                 continue
             bitmap = values[0]
             before = len(pending)
@@ -156,7 +191,20 @@ class ReliableEndpoint:
                 self._grow(dest)
             if len(pending) < before:
                 attempts = 0  # progress resets the retry budget
+                stalls = 0
+                last_deadline = 0.0
+            else:
+                stalls += 1
         return True
+
+    def _jitter_rng(self):
+        """The backoff-jitter stream (dedicated; created lazily)."""
+        rng = self._backoff_rng
+        if rng is None:
+            rng = self._backoff_rng = self.node.rng.stream(
+                f"reliable.backoff.{self.node.id}"
+            )
+        return rng
 
     def broadcast(self, payload: bytes) -> bool:
         """One-hop *unacknowledged* broadcast of a single-chunk message.

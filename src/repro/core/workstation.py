@@ -19,7 +19,7 @@ import typing as _t
 
 from repro.core.reliable import ReliableEndpoint
 from repro.core.wire import MsgType
-from repro.errors import CommandTimeout
+from repro.errors import CommandTimeout, ReliableTransferError
 from repro.sim.events import Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -100,12 +100,13 @@ class Workstation:
         waiter = Event(env)
         self._pending[request_id] = waiter
         try:
-            delivered = yield from self.endpoint.send(dest_id, payload)
-            if not delivered:
+            try:
+                yield from self.endpoint.send(dest_id, payload)
+            except ReliableTransferError as exc:
                 raise CommandTimeout(
                     f"node {dest!r} did not acknowledge the command "
                     "(out of range or down?)"
-                )
+                ) from exc
             outcome = yield env.any_of(
                 [waiter, env.timeout(window, value="timeout")]
             )

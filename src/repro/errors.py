@@ -35,6 +35,7 @@ __all__ = [
     "UnknownCommand",
     "ParameterError",
     "CommandTimeout",
+    "ReliableTransferError",
 ]
 
 
@@ -179,3 +180,42 @@ class ParameterError(CommandError):
 
 class CommandTimeout(CommandError):
     """A command did not complete within its response window."""
+
+
+# --------------------------------------------------------------------------
+# Reliable one-hop protocol (§IV-B)
+# --------------------------------------------------------------------------
+
+class ReliableTransferError(ReproError):
+    """A reliable transfer exhausted its retry budget.
+
+    Raised (never returned) so a dead link surfaces as a typed failure
+    instead of a silent ``False`` — callers either translate it into
+    their own timeout semantics or let it propagate loudly.
+
+    Attributes
+    ----------
+    dest:
+        The unreachable peer.
+    attempts:
+        Consecutive attempts made without progress before giving up.
+    pending:
+        Chunks still unacknowledged when the budget ran out.
+    total:
+        Total chunks in the transfer.
+    backoff_delays:
+        The ack deadline (seconds) used by each attempt, in order —
+        monotone non-decreasing across a stall run by construction.
+    """
+
+    def __init__(self, dest: int, attempts: int, pending: int, total: int,
+                 backoff_delays: tuple = ()):  # type: ignore[type-arg]
+        super().__init__(
+            f"reliable transfer to node {dest} abandoned after "
+            f"{attempts} attempts ({pending}/{total} chunks outstanding)"
+        )
+        self.dest = dest
+        self.attempts = attempts
+        self.pending = pending
+        self.total = total
+        self.backoff_delays = tuple(backoff_delays)

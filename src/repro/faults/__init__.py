@@ -1,0 +1,18 @@
+"""Deterministic fault injection (``repro.faults``).
+
+Declarative, seed-deterministic fault plans — dead nodes, degraded
+links, interference bursts, corrupted packets, saturated queues,
+drifting clocks — compiled into simulator events.  See
+``docs/FAULTS.md`` for the spec schema and the determinism contract.
+"""
+
+from repro.faults.engine import FaultInjector, install_faults
+from repro.faults.spec import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "install_faults",
+]

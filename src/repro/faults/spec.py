@@ -1,0 +1,242 @@
+"""Declarative fault plans: what breaks, where, when, and how badly.
+
+LiteView exists to diagnose *broken* communication paths, so the
+simulator must be able to produce broken paths on demand.  A
+:class:`FaultPlan` is a list of timed, scoped :class:`FaultSpec`
+entries — dead nodes, degraded links, interference bursts, corrupted
+packets, saturated queues, drifting clocks — that the fault engine
+(:mod:`repro.faults.engine`) compiles into simulator events.
+
+Two contracts live here:
+
+* **Determinism** — a plan is pure data.  All stochastic faults draw
+  from one dedicated RNG stream derived from the run seed, so the same
+  seed and plan reproduce the same injured world bit-for-bit, and a
+  disabled or empty plan leaves every other stream untouched (golden
+  fixtures unchanged).
+* **Campaign integration** — a plan round-trips through canonical JSON
+  (:meth:`FaultPlan.to_param` / :meth:`FaultPlan.from_param`), so whole
+  chaos grids become ordinary campaign parameters: they shard, cache
+  and derive per-run seeds like any other swept value.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+from dataclasses import dataclass, field, fields
+
+__all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
+
+#: The fault vocabulary, in the order the docs describe them.
+FAULT_KINDS = (
+    "node_crash",          # radio off, queue lost; optional reboot after
+    "node_reboot",         # short outage + kernel state cleared
+    "link_degrade",        # extra path loss on a node pair, optionally ramped
+    "interference_burst",  # per-channel noise-floor raise
+    "packet_corrupt",      # probabilistic CRC-breaking bit flips at receivers
+    "queue_saturate",      # clamp a node's MAC queue capacity
+    "clock_drift",         # node-local clock rate error
+)
+
+#: Default downtime of a ``node_reboot`` when no duration is given.
+DEFAULT_REBOOT_DOWNTIME = 1.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One timed, scoped fault.
+
+    ``kind`` selects the failure mode; the scope and magnitude fields
+    that apply depend on it (see :meth:`validate`):
+
+    ===================  =========================================
+    kind                 required fields
+    ===================  =========================================
+    node_crash           ``nodes``; ``duration`` optional (reboot)
+    node_reboot          ``nodes``; ``duration`` = downtime
+    link_degrade         ``link``, ``loss_db``; ``ramp_s`` optional
+    interference_burst   ``channel``, ``loss_db`` (noise raise, dB)
+    packet_corrupt       ``probability``; ``nodes`` optional scope
+    queue_saturate       ``nodes``, ``capacity``
+    clock_drift          ``nodes``, ``drift`` (rate error, e.g. 0.02)
+    ===================  =========================================
+
+    ``at`` is the activation time in simulated seconds; ``duration``
+    (where meaningful) bounds the fault window, ``None`` meaning "until
+    the end of the run".  ``link_degrade`` applies to both directions of
+    ``link`` unless ``directed`` is set.
+    """
+
+    kind: str
+    at: float = 0.0
+    duration: float | None = None
+    nodes: tuple[int, ...] = ()
+    link: tuple[int, int] | None = None
+    channel: int | None = None
+    loss_db: float = 0.0
+    ramp_s: float = 0.0
+    probability: float = 0.0
+    capacity: int | None = None
+    drift: float = 0.0
+    directed: bool = False
+
+    def __post_init__(self) -> None:
+        # Normalise list-bearing fields so JSON round-trips compare equal.
+        object.__setattr__(self, "nodes", tuple(int(n) for n in self.nodes))
+        if self.link is not None:
+            a, b = self.link
+            object.__setattr__(self, "link", (int(a), int(b)))
+        self.validate()
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the spec is internally consistent."""
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (one of {FAULT_KINDS})"
+            )
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.ramp_s < 0:
+            raise ValueError(f"ramp_s must be >= 0, got {self.ramp_s}")
+        kind = self.kind
+        if kind in ("node_crash", "node_reboot", "queue_saturate",
+                    "clock_drift") and not self.nodes:
+            raise ValueError(f"{kind} requires a non-empty node scope")
+        if kind == "link_degrade":
+            if self.link is None:
+                raise ValueError("link_degrade requires link=(a, b)")
+            if self.loss_db <= 0:
+                raise ValueError("link_degrade requires loss_db > 0")
+        if kind == "interference_burst":
+            if self.channel is None:
+                raise ValueError("interference_burst requires a channel")
+            if self.loss_db <= 0:
+                raise ValueError("interference_burst requires loss_db > 0 "
+                                 "(the noise-floor raise)")
+        if kind == "packet_corrupt" and not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"packet_corrupt requires 0 < probability <= 1, "
+                f"got {self.probability}"
+            )
+        if kind == "queue_saturate" and (self.capacity is None
+                                         or self.capacity < 1):
+            raise ValueError("queue_saturate requires capacity >= 1")
+        if kind == "clock_drift" and self.drift <= -1.0:
+            raise ValueError("clock_drift requires drift > -1 "
+                             "(a clock cannot run backwards)")
+
+    # -- timing ---------------------------------------------------------------
+
+    @property
+    def downtime(self) -> float | None:
+        """The outage length for node faults (reboots default theirs)."""
+        if self.kind == "node_reboot" and self.duration is None:
+            return DEFAULT_REBOOT_DOWNTIME
+        return self.duration
+
+    @property
+    def ends_at(self) -> float | None:
+        """Deactivation time, or ``None`` for an open-ended fault."""
+        window = (self.downtime if self.kind in ("node_crash", "node_reboot")
+                  else self.duration)
+        return None if window is None else self.at + window
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form, defaults omitted so encodings stay canonical."""
+        out: dict[str, object] = {"kind": self.kind, "at": self.at}
+        for f in fields(self):
+            if f.name in ("kind", "at"):
+                continue
+            value = getattr(self, f.name)
+            if value == f.default:
+                continue
+            if f.name in ("nodes", "link"):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: _t.Mapping) -> "FaultSpec":
+        kwargs = dict(data)
+        if "nodes" in kwargs:
+            kwargs["nodes"] = tuple(kwargs["nodes"])
+        if kwargs.get("link") is not None:
+            kwargs["link"] = tuple(kwargs["link"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of faults for one run.
+
+    ``enabled=False`` (or an empty spec list) makes the plan inert: the
+    engine installs nothing, consumes no RNG, and the run is
+    byte-identical to one with no plan at all — the property the
+    chaos-determinism tests assert.
+    """
+
+    name: str = ""
+    specs: tuple[FaultSpec, ...] = ()
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def is_active(self) -> bool:
+        """Whether installing this plan changes anything."""
+        return self.enabled and bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "enabled": self.enabled,
+            "specs": [s.to_dict() for s in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: _t.Mapping) -> "FaultPlan":
+        return cls(
+            name=data.get("name", ""),
+            enabled=bool(data.get("enabled", True)),
+            specs=tuple(FaultSpec.from_dict(s)
+                        for s in data.get("specs", ())),
+        )
+
+    def to_param(self) -> str:
+        """Canonical JSON — the campaign-parameter form.
+
+        Sorted keys and fixed separators, so equal plans encode to equal
+        strings and the derived seeds / cache keys are stable.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_param(cls, param: "str | _t.Mapping | FaultPlan | None",
+                   ) -> "FaultPlan":
+        """Decode a campaign parameter back into a plan.
+
+        Accepts the canonical JSON string, an already-decoded mapping, a
+        plan instance (returned as-is), or ``None``/``"null"`` (an inert
+        plan) — the forms a scenario may receive.
+        """
+        if param is None or param == "null":
+            return cls(enabled=False)
+        if isinstance(param, FaultPlan):
+            return param
+        if isinstance(param, str):
+            param = json.loads(param)
+        return cls.from_dict(param)  # type: ignore[arg-type]

@@ -161,6 +161,19 @@ class NeighborTable:
         self.node.events.log(self.node.env.now, "neighbor.blacklist",
                              f"node {node_id} re-enabled")
 
+    def clear(self) -> None:
+        """Forget every neighbor and restart the beacon sequence.
+
+        Models the RAM loss of a reboot: the table and the sequence
+        counter live in kernel RAM, so a power cycle empties both.  The
+        blacklist is also RAM-resident and clears with them — re-applying
+        operator intent after a reboot is the controller's job, exactly
+        the stale-state hazard the diagnosis tooling exists to surface.
+        """
+        self._entries.clear()
+        self._blacklist.clear()
+        self._seq = 0
+
     def is_blacklisted(self, node_id: int) -> bool:
         """Whether traffic to/from ``node_id`` is currently suppressed."""
         return node_id in self._blacklist
@@ -172,15 +185,21 @@ class NeighborTable:
     # -- beaconing ------------------------------------------------------------------
 
     def _beacon_loop(self):
+        # Timers tick in *local* clock units: a node whose oscillator
+        # runs fast (clock_rate > 1) exhausts a beacon period in fewer
+        # true seconds, hence the division.  Rate 1.0 divides exactly,
+        # so undrifted runs are bit-identical to the unscaled code.
         try:
             yield self.node.env.timeout(
                 float(self._rng.uniform(0.0, self._beacon_interval))
+                / self.node.clock_rate
             )
             while True:
                 self._send_beacon()
                 jitter = float(self._rng.uniform(-0.1, 0.1))
                 yield self.node.env.timeout(
                     self._beacon_interval * (1.0 + jitter)
+                    / self.node.clock_rate
                 )
         except ProcessInterrupt:
             return

@@ -64,6 +64,14 @@ class SensorNode:
         self.threads = ThreadTable(self.env, node_id)
         self.syscalls = SyscallTable()
         self.params = ParameterBuffer()
+        #: Local clock rate relative to true simulated time (1.0 = perfect;
+        #: the fault engine's ``clock_drift`` sets e.g. 1.02 for a clock
+        #: running 2% fast).  Kernel timers — beacon scheduling — tick in
+        #: local time, so drift skews beacon spacing the way a bad
+        #: oscillator does on a real mote.
+        self.clock_rate = 1.0
+        self._clock_base = 0.0
+        self._clock_ref = 0.0
         self.neighbors = NeighborTable(self, **(neighbor_kwargs or {}))
         #: Installed routing protocols, keyed by port.
         self.protocols: dict[int, RoutingProtocol] = {}
@@ -173,6 +181,31 @@ class SensorNode:
         protocol.stop()
         del self.protocols[port]
 
+    # -- local clock -------------------------------------------------------
+
+    def local_time(self) -> float:
+        """The node's own clock reading (true time scaled by drift).
+
+        Piecewise-linear: each :meth:`set_clock_rate` rebases so the
+        local clock is continuous across rate changes, as a real
+        oscillator's accumulated error would be.
+        """
+        return self._clock_base + (
+            self.env.now - self._clock_ref
+        ) * self.clock_rate
+
+    def set_clock_rate(self, rate: float) -> None:
+        """Change the local oscillator rate (fault engine hook).
+
+        ``rate`` is local seconds per true second; 1.0 restores a
+        perfect clock going forward (accumulated offset persists).
+        """
+        if rate <= 0:
+            raise ValueError(f"clock rate must be positive, got {rate}")
+        self._clock_base = self.local_time()
+        self._clock_ref = self.env.now
+        self.clock_rate = float(rate)
+
     # -- failure injection -------------------------------------------------------
 
     @property
@@ -195,10 +228,18 @@ class SensorNode:
         self.events.log(self.env.now, "kernel.failed", "node down")
 
     def recover(self) -> None:
-        """Power the node back up (beaconing resumes on schedule)."""
+        """Power the node back up (beaconing resumes on schedule).
+
+        A recovery is a *reboot*: kernel RAM is gone, so the neighbor
+        table (entries, blacklist, beacon sequence) is cleared rather
+        than carried over.  Before this clear, a rebooted node kept
+        months-stale neighbor entries and routed through ghosts — the
+        exact stale-state failure the chaos suite pins down.
+        """
         if self.xcvr.enabled:
             return
         self.xcvr.enabled = True
+        self.neighbors.clear()
         self.monitor.count("kernel.recoveries")
         self.events.log(self.env.now, "kernel.recovered", "node up")
 

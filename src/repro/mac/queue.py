@@ -96,6 +96,19 @@ class TxQueue:
             self._getters.append(event)
         return event
 
+    def set_capacity(self, capacity: int) -> None:
+        """Re-bound the queue (the fault engine's ``queue_saturate`` hook).
+
+        Frames already waiting above a lowered bound stay queued — the
+        clamp starts rejecting new work, it does not destroy old work —
+        so occupancy drains through the MAC as usual while ``put``
+        answers False, exactly the congested-mote symptom the diagnosis
+        commands report as a full queue.
+        """
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+
     def clear(self) -> list:
         """Drop all queued frames (used when a node's radio is disabled)."""
         dropped = list(self._items)

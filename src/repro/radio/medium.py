@@ -237,6 +237,10 @@ class RadioMedium:
         self._corrupt_rng = rng.stream("medium.corruption")
         self._xcvrs: dict[int, Transceiver] = {}
         self._active: list[_ActiveTransmission] = []
+        #: Fault-injection hooks (:class:`repro.faults.FaultInjector`),
+        #: attached by ``install_faults``.  ``None`` — the default — keeps
+        #: every hot-path check to one attribute read.
+        self.faults: "_t.Any | None" = None
         #: Fraction of failed receptions delivered as corrupted bytes (so
         #: the stack's CRC checker sees real work) rather than silence.
         self.corrupt_delivery_fraction = float(corrupt_delivery_fraction)
@@ -366,6 +370,14 @@ class RadioMedium:
         self._prune(now)
         rid = xcvr.node_id
         channel = xcvr.config.channel
+        faults = self.faults
+        if (faults is not None
+                and NOISE_FLOOR_DBM + faults.noise_offset_dbm(channel)
+                >= CCA_THRESHOLD_DBM):
+            # An injected interference burst raises the energy-detect
+            # reading above the CCA threshold: the channel reads busy
+            # even with no frame on the air (congestion as CSMA sees it).
+            return True
         for tx in self._active:
             if tx.channel != channel:
                 continue
@@ -399,7 +411,11 @@ class RadioMedium:
                     self.distance(tx.sender, rid),
                 )
             powers.append(power)
-        return dbm_sum(NOISE_FLOOR_DBM, *powers)
+        floor = NOISE_FLOOR_DBM
+        faults = self.faults
+        if faults is not None:
+            floor += faults.noise_offset_dbm(channel)
+        return dbm_sum(floor, *powers)
 
     # -- transmission ------------------------------------------------------------
 
@@ -503,6 +519,22 @@ class RadioMedium:
         overlap_senders = tx.overlap_senders
         frame_bytes = frame.size_bytes
 
+        # Fault-injection overlay: an interference burst raises this
+        # channel's noise floor for the whole frame; a packet_corrupt
+        # window flips bits in otherwise-successful deliveries.  Both
+        # draw nothing from the medium's own streams, so an inert
+        # injector (or none) leaves the run bit-for-bit unchanged.
+        faults = self.faults
+        noise_floor = NOISE_FLOOR_DBM
+        noise_only = _NOISE_ONLY_DBM
+        fault_corrupt_on = False
+        if faults is not None:
+            extra_noise = faults.noise_offset_dbm(tx.channel)
+            if extra_noise:
+                noise_floor = NOISE_FLOOR_DBM + extra_noise
+                noise_only = dbm_sum(noise_floor)
+            fault_corrupt_on = faults.corrupt_active
+
         # Pass 1: classification (no RNG).
         sens = (tx.rx >= SENSITIVITY_DBM).tolist()
         outcome = [_SKIP] * member_count
@@ -534,7 +566,7 @@ class RadioMedium:
                 ]
                 if interference:
                     interfered[off] = True
-                    sinr = rx_power - dbm_sum(NOISE_FLOOR_DBM, *interference)
+                    sinr = rx_power - dbm_sum(noise_floor, *interference)
                     # Capture gates on the signal-to-*interference* ratio:
                     # a correlator cannot separate two comparable
                     # overlapping frames, but interference well below the
@@ -543,9 +575,9 @@ class RadioMedium:
                     sir = rx_power - dbm_sum(*interference)
                     captured = sir >= CAPTURE_THRESHOLD_DB
                 else:
-                    sinr = rx_power - _NOISE_ONLY_DBM
+                    sinr = rx_power - noise_only
             else:
-                sinr = rx_power - _NOISE_ONLY_DBM
+                sinr = rx_power - noise_only
             sinr_of[off] = sinr
             was_captured[off] = captured
             cand_offs.append(off)
@@ -573,7 +605,17 @@ class RadioMedium:
         deliver_offs: list[int] = []
         for off in cand_offs:
             if success[off]:
-                outcome[off] = _OK
+                # Fault-injected corruption converts a clean reception
+                # into a CRC-failing delivery; its draws come from the
+                # injector's dedicated stream, and the medium's own
+                # corruption stream is consulted exactly as often as
+                # without the fault (only for failed receptions).
+                if (fault_corrupt_on and payload0
+                        and faults.corrupt_roll(ids[off])):
+                    outcome[off] = _CORRUPT
+                    payload_of[off] = faults.corrupt_payload(payload0)
+                else:
+                    outcome[off] = _OK
                 deliver_offs.append(off)
             elif (corrupt_rng.random() >= fraction) or not payload0:
                 outcome[off] = _LOST

@@ -80,6 +80,10 @@ class LogDistancePropagation:
         self._shadow_rng = rng.stream("propagation.shadowing")
         self._fading_rng = rng.stream("propagation.fading")
         self._shadowing: dict[tuple[int, int], float] = {}
+        #: Fault-injection overlay: extra loss (dB) per directed link,
+        #: added on top of path loss and shadowing.  Empty outside fault
+        #: plans, so the untouched case costs one falsy check.
+        self._penalties: dict[tuple[int, int], float] = {}
         #: Bumped whenever the shadowing table changes (a new link drawn or
         #: a value pinned).  The medium keys its cached per-sender
         #: mean-loss rows on this, so pinned links invalidate them.
@@ -130,6 +134,27 @@ class LogDistancePropagation:
         self._shadowing[(src, dst)] = float(value)
         self.shadowing_epoch += 1
 
+    # -- fault-injection overlay ------------------------------------------------
+
+    def link_penalty_db(self, src: int, dst: int) -> float:
+        """Injected extra loss on the directed link src→dst (0 when sound)."""
+        return self._penalties.get((src, dst), 0.0)
+
+    def set_link_penalty_db(self, src: int, dst: int, value: float) -> None:
+        """Set the injected extra loss on src→dst (``0`` removes it).
+
+        The fault engine's ``link_degrade`` hook.  Penalties live apart
+        from the shadowing table so they can ramp, stack and clear
+        without consuming or disturbing any RNG stream; the epoch bump
+        makes the medium rebuild its cached mean-loss rows.
+        """
+        key = (src, dst)
+        if value:
+            self._penalties[key] = float(value)
+        else:
+            self._penalties.pop(key, None)
+        self.shadowing_epoch += 1
+
     def shadowing_row(self, src: int, dst_ids: np.ndarray) -> np.ndarray:
         """Shadowing of every directed link ``src -> dst_ids[i]``.
 
@@ -157,6 +182,10 @@ class LogDistancePropagation:
                 table[(src, dst)] = value
                 out[i] = value
             self.shadowing_epoch += len(missing)
+        if self._penalties:
+            penalties = self._penalties
+            for i, dst in enumerate(dst_ids.tolist()):
+                out[i] += penalties.get((src, dst), 0.0)
         return out
 
     def fading_row(self, count: int) -> np.ndarray:
@@ -172,6 +201,8 @@ class LogDistancePropagation:
         """Total loss for one packet on the directed link src→dst."""
         loss = self.deterministic_loss_db(distance_m)
         loss += self.link_shadowing_db(src, dst)
+        if self._penalties:
+            loss += self._penalties.get((src, dst), 0.0)
         if self.fading_sigma_db > 0:
             loss += float(self._fading_rng.normal(0.0, self.fading_sigma_db))
         return float(loss)
@@ -187,4 +218,6 @@ class LogDistancePropagation:
         return tx_power_dbm - (
             self.deterministic_loss_db(distance_m)
             + self.link_shadowing_db(src, dst)
+            + (self._penalties.get((src, dst), 0.0) if self._penalties
+               else 0.0)
         )

@@ -225,6 +225,19 @@ class Environment:
         timeout._pooled = True
         return timeout
 
+    def call_at(self, when: float, fn: _t.Callable[[], None]) -> Event:
+        """Schedule ``fn()`` to run at absolute simulated time ``when``.
+
+        The hook the fault-injection engine compiles plans through: a
+        plan's activations are plain callbacks at fixed times, ordered
+        against same-instant traffic by insertion order like every
+        other event.  ``when`` in the past (including "now") fires on
+        the next dispatch without moving the clock backwards.
+        """
+        event = Timeout(self, max(0.0, when - self._now))
+        event.add_callback(lambda _ev: fn())
+        return event
+
     def process(self, generator: ProcessGenerator,
                 name: str | None = None) -> Process:
         """Launch ``generator`` as a simulated process."""

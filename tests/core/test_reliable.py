@@ -3,19 +3,21 @@
 import pytest
 
 from repro.core.reliable import CHUNK_BYTES, MAX_CHUNKS, ReliableEndpoint
+from repro.errors import ReliableTransferError
 from repro.kernel import Testbed
 
 QUIET = {"shadowing_sigma_db": 0.0, "fading_sigma_db": 0.0}
 
 
-def make_pair(distance=10.0, seed=5, **prop):
+def make_pair(distance=10.0, seed=5, endpoint_kwargs=None, **prop):
     kwargs = dict(QUIET)
     kwargs.update(prop)
     tb = Testbed(seed=seed, propagation_kwargs=kwargs)
     a = tb.add_node("a", (0.0, 0.0))
     b = tb.add_node("b", (distance, 0.0))
     inbox_a, inbox_b = [], []
-    ep_a = ReliableEndpoint(a, lambda o, m: inbox_a.append((o, m)))
+    ep_a = ReliableEndpoint(a, lambda o, m: inbox_a.append((o, m)),
+                            **(endpoint_kwargs or {}))
     ep_b = ReliableEndpoint(b, lambda o, m: inbox_b.append((o, m)))
     return tb, (a, ep_a, inbox_a), (b, ep_b, inbox_b)
 
@@ -72,19 +74,77 @@ def test_send_to_unreachable_peer_fails_cleanly():
     ep_a = ReliableEndpoint(a, lambda o, m: None)
     ReliableEndpoint(b, lambda o, m: None)
     proc = tb.env.process(ep_a.send(b.id, b"void"))
-    assert tb.env.run(until=proc) is False
+    with pytest.raises(ReliableTransferError) as excinfo:
+        tb.env.run(until=proc)
+    assert excinfo.value.dest == b.id
+    assert excinfo.value.attempts == ep_a.max_attempts
+    assert excinfo.value.pending == excinfo.value.total == 1
     assert tb.monitor.counter("reliable.aborts") == 1
 
 
 def test_lossy_link_still_delivers():
-    """Retransmissions must push a large message through a gray link."""
-    tb, (a, ep_a, _), (b, _, inbox_b) = make_pair(distance=93.0, seed=3)
+    """Retransmissions must push a large message through a gray link.
+
+    The retry budget is raised above the default: a 93 m link aborts
+    within 10 consecutive stalls for a fair share of seeds (by design —
+    the budget is what bounds a dead-peer wait), and this test is about
+    eventual delivery, not the budget.
+    """
+    tb, (a, ep_a, _), (b, _, inbox_b) = make_pair(
+        distance=93.0, seed=3, endpoint_kwargs={"max_attempts": 30})
     payload = bytes(400)
     assert deliver(tb, ep_a, b.id, payload)
     assert inbox_b == [(a.id, payload)]
     # The link was genuinely lossy: retransmissions happened.
     assert (tb.monitor.counter("reliable.data_sent")
             > -(-len(payload) // CHUNK_BYTES))
+
+
+def test_total_loss_mid_transfer_raises_within_budget():
+    """100% loss mid-transfer ends in ReliableTransferError, not a hang."""
+    tb, (a, ep_a, _), (b, _, inbox_b) = make_pair()
+    payload = bytes(800)  # multi-chunk: the transfer is in flight a while
+    tb.env.call_at(0.01, b.fail)  # link goes totally dark mid-transfer
+    proc = tb.env.process(ep_a.send(b.id, payload))
+    with pytest.raises(ReliableTransferError) as excinfo:
+        tb.env.run(until=proc)
+    err = excinfo.value
+    assert err.attempts == ep_a.max_attempts
+    assert 0 < err.pending <= err.total
+    assert inbox_b == []  # never completed, never delivered
+    # The wait is bounded: every attempt's deadline is capped, so the
+    # whole abort happens within budget * (capped deadline) plus slack.
+    worst = ep_a.ack_timeout + 0.003 * ep_a.max_batch
+    assert tb.env.now <= 0.01 + ep_a.max_attempts * worst * (
+        ep_a.backoff_cap * 1.25) + 1.0
+
+
+def test_backoff_delays_monotone_and_capped():
+    """Consecutive stall deadlines never shrink and respect the cap."""
+    tb = Testbed(seed=11, propagation_kwargs=QUIET)
+    a = tb.add_node("a", (0.0, 0.0))
+    b = tb.add_node("b", (5000.0, 0.0))  # unreachable: every attempt stalls
+    ep_a = ReliableEndpoint(a, lambda o, m: None)
+    ReliableEndpoint(b, lambda o, m: None)
+    proc = tb.env.process(ep_a.send(b.id, b"probe"))
+    with pytest.raises(ReliableTransferError) as excinfo:
+        tb.env.run(until=proc)
+    delays = excinfo.value.backoff_delays
+    assert len(delays) == ep_a.max_attempts
+    base = ep_a.ack_timeout + 0.003  # single-chunk first batch
+    assert delays[0] == pytest.approx(base)
+    for earlier, later in zip(delays, delays[1:]):
+        assert later >= earlier
+    assert max(delays) <= base * ep_a.backoff_cap * 1.25
+
+
+def test_backoff_engages_only_after_a_timeout():
+    """A clean transfer never consults the jitter stream (golden safety)."""
+    tb, (a, ep_a, _), (b, _, inbox_b) = make_pair()
+    assert deliver(tb, ep_a, b.id, b"clean")
+    assert inbox_b == [(a.id, b"clean")]
+    assert ep_a._backoff_rng is None
+    assert tb.monitor.counter("reliable.ack_timeouts") == 0
 
 
 def test_batch_size_shrinks_on_loss_and_grows_when_clean():

@@ -1,0 +1,104 @@
+"""The fault subsystem's determinism contract.
+
+Two properties, asserted over *random* plans:
+
+* same seed + same plan  ⇒  bit-identical packet digests;
+* a disabled plan  ⇒  bit-identical to no plan at all (the golden-
+  fixture safety property: chaos code that is off does not exist).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, FaultSpec, install_faults
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+SECONDS = 8.0
+
+_node = st.integers(1, 3)
+_pair = st.sampled_from([(1, 2), (2, 3), (1, 3)])
+_at = st.floats(0.0, 6.0, allow_nan=False, allow_infinity=False)
+_duration = st.one_of(st.none(),
+                      st.floats(0.5, 5.0, allow_nan=False))
+
+_spec = st.one_of(
+    st.builds(FaultSpec, kind=st.just("node_crash"), at=_at,
+              duration=_duration, nodes=st.lists(_node, min_size=1,
+                                                 max_size=2)),
+    st.builds(FaultSpec, kind=st.just("node_reboot"), at=_at,
+              nodes=st.lists(_node, min_size=1, max_size=1)),
+    st.builds(FaultSpec, kind=st.just("link_degrade"), at=_at,
+              duration=_duration, link=_pair,
+              loss_db=st.floats(1.0, 70.0, allow_nan=False),
+              ramp_s=st.floats(0.0, 3.0, allow_nan=False),
+              directed=st.booleans()),
+    st.builds(FaultSpec, kind=st.just("interference_burst"), at=_at,
+              duration=_duration, channel=st.sampled_from([17, 18]),
+              loss_db=st.floats(5.0, 35.0, allow_nan=False)),
+    st.builds(FaultSpec, kind=st.just("packet_corrupt"), at=_at,
+              duration=_duration,
+              probability=st.floats(0.05, 1.0, allow_nan=False),
+              nodes=st.lists(_node, max_size=2)),
+    st.builds(FaultSpec, kind=st.just("queue_saturate"), at=_at,
+              duration=_duration, nodes=st.lists(_node, min_size=1,
+                                                 max_size=2),
+              capacity=st.integers(1, 4)),
+    st.builds(FaultSpec, kind=st.just("clock_drift"), at=_at,
+              duration=_duration, nodes=st.lists(_node, min_size=1,
+                                                 max_size=1),
+              drift=st.floats(-0.4, 1.0, allow_nan=False)),
+)
+
+plans = st.builds(FaultPlan, name=st.just("prop"),
+                  specs=st.lists(_spec, min_size=1, max_size=3).map(tuple))
+
+
+def run_world(seed, plan):
+    tb = build_chain(3, spacing=60.0, seed=seed,
+                     propagation_kwargs=QUIET_PROPAGATION)
+    install_faults(tb, plan)
+    tb.run(until=SECONDS)
+    return tb
+
+
+def digest(seed, plan):
+    return run_world(seed, plan).monitor.packet_digest()
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(plan=plans, seed=st.integers(1, 1000))
+def test_same_seed_same_plan_is_bit_identical(plan, seed):
+    assert digest(seed, plan) == digest(seed, plan)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(plan=plans, seed=st.integers(1, 1000))
+def test_disabled_plan_matches_no_plan(plan, seed):
+    disabled = FaultPlan(name=plan.name, specs=plan.specs, enabled=False)
+    assert digest(seed, disabled) == digest(seed, None)
+
+
+def test_round_trip_plan_runs_identically():
+    """The canonical-JSON form injects exactly like the object form."""
+    plan = FaultPlan(name="rt", specs=(
+        FaultSpec(kind="link_degrade", at=2.0, duration=3.0, link=(1, 2),
+                  loss_db=40.0),
+        FaultSpec(kind="packet_corrupt", at=1.0, probability=0.5),
+    ))
+    assert digest(9, plan) == digest(9, plan.to_param())
+
+
+def test_active_plan_changes_the_world():
+    """Sanity: injection is not a no-op when it should bite."""
+    plan = FaultPlan(name="bite", specs=(
+        FaultSpec(kind="node_crash", at=1.0, nodes=(2,)),))
+    assert digest(9, plan) != digest(9, None)
+
+
+def test_different_seeds_decorrelate_stochastic_faults():
+    plan = FaultPlan(name="rng", specs=(
+        FaultSpec(kind="packet_corrupt", at=0.0, probability=0.5),))
+    assert digest(1, plan) != digest(2, plan)

@@ -1,0 +1,202 @@
+"""Per-kind behaviour of the fault engine on live testbeds."""
+
+from repro.faults import FaultPlan, FaultSpec, install_faults
+from repro.radio.cc2420 import CCA_THRESHOLD_DBM, NOISE_FLOOR_DBM
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+def make_chain(n=3, seed=7):
+    return build_chain(n, spacing=60.0, seed=seed,
+                       propagation_kwargs=QUIET_PROPAGATION)
+
+
+def install(tb, *specs, name="test"):
+    return install_faults(tb, FaultPlan(name=name, specs=tuple(specs)))
+
+
+def test_inert_plans_install_nothing():
+    tb = make_chain()
+    assert install_faults(tb, None) is None
+    assert install_faults(tb, FaultPlan()) is None
+    assert install_faults(tb, FaultPlan(enabled=False, specs=(
+        FaultSpec(kind="node_crash", nodes=(2,)),))) is None
+    assert tb.medium.faults is None
+    assert tb.monitor.counter("faults.activations") == 0
+
+
+def test_node_crash_window():
+    tb = make_chain()
+    injector = install(tb, FaultSpec(kind="node_crash", at=5.0,
+                                     duration=10.0, nodes=(2,)))
+    assert tb.medium.faults is injector
+    tb.run(until=4.9)
+    assert tb.node(2).is_up
+    tb.run(until=6.0)
+    assert not tb.node(2).is_up
+    tb.run(until=15.5)
+    assert tb.node(2).is_up
+    assert injector.activations == {"node_crash": 1}
+    assert tb.monitor.counter("faults.node_crash.activations") == 1
+    assert tb.monitor.counter("faults.deactivations") == 1
+
+
+def test_open_ended_crash_never_recovers():
+    tb = make_chain()
+    install(tb, FaultSpec(kind="node_crash", at=1.0, nodes=(3,)))
+    tb.run(until=60.0)
+    assert not tb.node(3).is_up
+
+
+def test_node_reboot_clears_kernel_state():
+    tb = make_chain()
+    install(tb, FaultSpec(kind="node_reboot", at=10.0, nodes=(2,)))
+    tb.run(until=9.9)
+    assert tb.node(2).neighbors.lookup(1) is not None
+    tb.run(until=10.5)
+    assert not tb.node(2).is_up
+    tb.run(until=11.001)  # default 1 s downtime elapsed
+    node = tb.node(2)
+    assert node.is_up
+    assert node.neighbors.lookup(1) is None  # stale table gone
+    tb.run(until=25.0)
+    assert node.neighbors.lookup(1) is not None  # beacons repopulate
+
+
+def test_link_degrade_applies_both_directions_and_clears():
+    tb = make_chain()
+    install(tb, FaultSpec(kind="link_degrade", at=2.0, duration=5.0,
+                          link=(1, 2), loss_db=50.0))
+    prop = tb.propagation
+    tb.run(until=3.0)
+    assert prop.link_penalty_db(1, 2) == 50.0
+    assert prop.link_penalty_db(2, 1) == 50.0
+    tb.run(until=8.0)
+    assert prop.link_penalty_db(1, 2) == 0.0
+    assert prop.link_penalty_db(2, 1) == 0.0
+
+
+def test_link_degrade_directed_leaves_reverse_untouched():
+    tb = make_chain()
+    install(tb, FaultSpec(kind="link_degrade", at=1.0, link=(1, 2),
+                          loss_db=30.0, directed=True))
+    tb.run(until=2.0)
+    assert tb.propagation.link_penalty_db(1, 2) == 30.0
+    assert tb.propagation.link_penalty_db(2, 1) == 0.0
+
+
+def test_link_degrade_ramp_climbs_in_steps():
+    tb = make_chain()
+    install(tb, FaultSpec(kind="link_degrade", at=2.0, duration=20.0,
+                          link=(2, 3), loss_db=40.0, ramp_s=4.0))
+    prop = tb.propagation
+    tb.run(until=2.0)
+    assert prop.link_penalty_db(2, 3) == 0.0  # ramp starts after `at`
+    tb.run(until=4.1)  # halfway up the ramp
+    halfway = prop.link_penalty_db(2, 3)
+    assert 0.0 < halfway < 40.0
+    tb.run(until=6.1)  # ramp complete
+    full = prop.link_penalty_db(2, 3)
+    assert abs(full - 40.0) < 1e-9
+    tb.run(until=23.0)
+    assert prop.link_penalty_db(2, 3) == 0.0
+
+
+def test_link_degrade_breaks_delivery_while_active():
+    tb = make_chain(2)
+    install(tb, FaultSpec(kind="link_degrade", at=5.0, duration=20.0,
+                          link=(1, 2), loss_db=90.0))
+    tb.run(until=5.0)
+    assert tb.node(2).neighbors.lookup(1) is not None
+    tb.run(until=25.0)  # entries expire: nothing crosses a +90 dB link
+    assert tb.node(2).neighbors.lookup(1) is None
+    tb.run(until=45.0)  # link healed: beacons return
+    assert tb.node(2).neighbors.lookup(1) is not None
+
+
+def test_interference_burst_raises_floor_and_jams_cca():
+    tb = make_chain()
+    injector = install(tb, FaultSpec(kind="interference_burst", at=1.0,
+                                     duration=3.0, channel=17,
+                                     loss_db=30.0))
+    xcvr = tb.node(1).xcvr
+    tb.run(until=2.0)
+    assert injector.noise_offset_dbm(17) == 30.0
+    assert injector.noise_offset_dbm(18) == 0.0
+    assert NOISE_FLOOR_DBM + 30.0 >= CCA_THRESHOLD_DBM  # premise
+    assert tb.medium.cca_busy(xcvr)
+    assert tb.medium.ambient_power_dbm(xcvr) >= NOISE_FLOOR_DBM + 30.0
+    tb.run(until=5.0)
+    assert injector.noise_offset_dbm(17) == 0.0
+    assert not tb.medium.cca_busy(xcvr)
+
+
+def test_packet_corrupt_everywhere_starves_neighbor_tables():
+    tb = make_chain()
+    install(tb, FaultSpec(kind="packet_corrupt", at=0.0, probability=1.0))
+    tb.run(until=20.0)
+    assert tb.monitor.counter("medium.corrupted_frames") > 0
+    # Every beacon arrives CRC-broken, so nobody learns any neighbor.
+    for node in tb.nodes():
+        assert node.neighbors.entries() == []
+
+
+def test_packet_corrupt_scoped_to_one_receiver():
+    tb = make_chain()
+    install(tb, FaultSpec(kind="packet_corrupt", at=0.0, probability=1.0,
+                          nodes=(2,)))
+    tb.run(until=20.0)
+    assert tb.node(2).neighbors.entries() == []       # deaf to clean data
+    assert tb.node(1).neighbors.lookup(2) is not None  # others unaffected
+
+
+def test_packet_corrupt_window_ends():
+    tb = make_chain(2)
+    install(tb, FaultSpec(kind="packet_corrupt", at=0.0, duration=10.0,
+                          probability=1.0))
+    tb.run(until=10.0)
+    assert tb.node(2).neighbors.entries() == []
+    tb.run(until=30.0)
+    assert tb.node(2).neighbors.lookup(1) is not None
+
+
+def test_queue_saturate_clamps_then_restores():
+    tb = make_chain()
+    install(tb, FaultSpec(kind="queue_saturate", at=1.0, duration=4.0,
+                          nodes=(2,), capacity=1))
+    queue = tb.node(2).mac.queue
+    original = queue.capacity
+    assert original > 1
+    tb.run(until=2.0)
+    assert queue.capacity == 1
+    tb.run(until=6.0)
+    assert queue.capacity == original
+
+
+def test_clock_drift_skews_beacon_rate():
+    tb = make_chain()
+    install(tb, FaultSpec(kind="clock_drift", at=0.0, duration=30.0,
+                          nodes=(2,), drift=1.0))  # clock runs 2x fast
+    tb.run(until=10.0)
+    node = tb.node(2)
+    assert node.clock_rate == 2.0
+    assert node.local_time() > tb.env.now * 1.5
+    tb.run(until=31.0)
+    assert node.clock_rate == 1.0
+    # A 2x clock emits beacons roughly twice as often while drifting.
+    fast = sum(1 for r in tb.monitor.packets
+               if r.sender == 2 and r.time < 30.0)
+    steady = sum(1 for r in tb.monitor.packets
+                 if r.sender == 1 and r.time < 30.0)
+    assert fast > steady * 1.5
+
+
+def test_activation_edges_are_traced():
+    tb = make_chain()
+    tb.tracer.enable()
+    install(tb, FaultSpec(kind="node_crash", at=2.0, duration=3.0,
+                          nodes=(2,)))
+    tb.run(until=10.0)
+    kinds = [e.kind for e in tb.tracer.events
+             if e.kind.startswith("fault.")]
+    assert kinds == ["fault.activate", "fault.deactivate"]

@@ -1,0 +1,131 @@
+"""FaultSpec / FaultPlan validation and serialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.spec import DEFAULT_REBOOT_DOWNTIME
+
+
+def test_kind_vocabulary_is_stable():
+    assert FAULT_KINDS == (
+        "node_crash", "node_reboot", "link_degrade", "interference_burst",
+        "packet_corrupt", "queue_saturate", "clock_drift",
+    )
+
+
+@pytest.mark.parametrize("bad", [
+    dict(kind="martians"),
+    dict(kind="node_crash"),                          # no node scope
+    dict(kind="node_crash", nodes=(1,), at=-1.0),
+    dict(kind="node_crash", nodes=(1,), duration=0.0),
+    dict(kind="link_degrade", loss_db=10.0),          # no link
+    dict(kind="link_degrade", link=(1, 2)),           # no loss
+    dict(kind="link_degrade", link=(1, 2), loss_db=5.0, ramp_s=-1.0),
+    dict(kind="interference_burst", loss_db=10.0),    # no channel
+    dict(kind="interference_burst", channel=17),      # no raise
+    dict(kind="packet_corrupt", probability=0.0),
+    dict(kind="packet_corrupt", probability=1.5),
+    dict(kind="queue_saturate", nodes=(1,)),          # no capacity
+    dict(kind="queue_saturate", nodes=(1,), capacity=0),
+    dict(kind="clock_drift", nodes=(1,), drift=-1.0),
+])
+def test_invalid_specs_rejected(bad):
+    with pytest.raises(ValueError):
+        FaultSpec(**bad)
+
+
+def test_reboot_downtime_defaults():
+    spec = FaultSpec(kind="node_reboot", at=5.0, nodes=(2,))
+    assert spec.downtime == DEFAULT_REBOOT_DOWNTIME
+    assert spec.ends_at == 5.0 + DEFAULT_REBOOT_DOWNTIME
+    explicit = FaultSpec(kind="node_reboot", at=5.0, nodes=(2,),
+                         duration=3.0)
+    assert explicit.downtime == 3.0 and explicit.ends_at == 8.0
+
+
+def test_open_ended_fault_has_no_end():
+    spec = FaultSpec(kind="node_crash", at=1.0, nodes=(4,))
+    assert spec.downtime is None and spec.ends_at is None
+
+
+def test_plan_activity():
+    assert not FaultPlan().is_active
+    assert not FaultPlan(enabled=False, specs=(
+        FaultSpec(kind="node_crash", nodes=(1,)),)).is_active
+    assert FaultPlan(specs=(
+        FaultSpec(kind="node_crash", nodes=(1,)),)).is_active
+
+
+def test_from_param_accepts_all_forms():
+    plan = FaultPlan(name="p", specs=(
+        FaultSpec(kind="link_degrade", at=2.0, link=(1, 2), loss_db=9.0),))
+    assert FaultPlan.from_param(plan) is plan
+    assert FaultPlan.from_param(plan.to_param()) == plan
+    assert FaultPlan.from_param(plan.to_dict()) == plan
+    assert not FaultPlan.from_param(None).is_active
+    assert not FaultPlan.from_param("null").is_active
+
+
+def test_to_param_is_canonical():
+    a = FaultSpec(kind="queue_saturate", at=1.0, nodes=(3, 1),
+                  capacity=2)
+    b = FaultSpec(kind="queue_saturate", at=1.0, nodes=[3, 1],
+                  capacity=2)
+    assert FaultPlan(specs=(a,)).to_param() == FaultPlan(specs=(b,)).to_param()
+    assert " " not in FaultPlan(specs=(a,)).to_param()
+
+
+# -- property: every representable plan survives the JSON round trip ------
+
+_node = st.integers(1, 9)
+_at = st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False)
+_duration = st.one_of(st.none(), st.floats(min_value=0.1, max_value=20.0,
+                                           allow_nan=False))
+
+_spec = st.one_of(
+    st.builds(FaultSpec, kind=st.just("node_crash"), at=_at,
+              duration=_duration, nodes=st.lists(_node, min_size=1,
+                                                 max_size=3)),
+    st.builds(FaultSpec, kind=st.just("node_reboot"), at=_at,
+              duration=_duration, nodes=st.lists(_node, min_size=1,
+                                                 max_size=2)),
+    st.builds(FaultSpec, kind=st.just("link_degrade"), at=_at,
+              duration=_duration,
+              link=st.tuples(_node, _node),
+              loss_db=st.floats(0.5, 80.0, allow_nan=False),
+              ramp_s=st.floats(0.0, 10.0, allow_nan=False),
+              directed=st.booleans()),
+    st.builds(FaultSpec, kind=st.just("interference_burst"), at=_at,
+              duration=_duration, channel=st.integers(11, 26),
+              loss_db=st.floats(1.0, 40.0, allow_nan=False)),
+    st.builds(FaultSpec, kind=st.just("packet_corrupt"), at=_at,
+              duration=_duration,
+              probability=st.floats(0.01, 1.0, allow_nan=False),
+              nodes=st.lists(_node, max_size=2)),
+    st.builds(FaultSpec, kind=st.just("queue_saturate"), at=_at,
+              duration=_duration, nodes=st.lists(_node, min_size=1,
+                                                 max_size=2),
+              capacity=st.integers(1, 8)),
+    st.builds(FaultSpec, kind=st.just("clock_drift"), at=_at,
+              duration=_duration, nodes=st.lists(_node, min_size=1,
+                                                 max_size=2),
+              drift=st.floats(-0.5, 1.0, allow_nan=False)),
+)
+
+plans = st.builds(
+    FaultPlan,
+    name=st.text(max_size=8),
+    specs=st.lists(_spec, max_size=4).map(tuple),
+    enabled=st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(plan=plans)
+def test_plan_round_trips_through_canonical_json(plan):
+    encoded = plan.to_param()
+    decoded = FaultPlan.from_param(encoded)
+    assert decoded == plan
+    assert decoded.to_param() == encoded

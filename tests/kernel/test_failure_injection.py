@@ -68,6 +68,30 @@ def test_failure_clears_queue_and_logs_event():
     assert "kernel.recovered" in [e.code for e in node.events.recent()]
 
 
+def test_reboot_clears_stale_kernel_state():
+    """A rebooted node must not keep its pre-crash neighbor table.
+
+    Before the fix, recover() only re-enabled the radio, so a node that
+    crashed and came back 'knew' neighbors it had never heard since —
+    including ones that died or moved during its outage.
+    """
+    dep = make_deployment()
+    tb = dep.testbed
+    node = tb.node(2)
+    assert node.neighbors.lookup(1) is not None
+    node.neighbors.blacklist(3)
+    node.fail()
+    node.recover()
+    # RAM is gone: entries, blacklist and the beacon sequence all reset.
+    assert node.neighbors.entries() == []
+    assert node.neighbors.blacklisted_ids() == []
+    assert node.neighbors._seq == 0
+    # Beacons repopulate the table from scratch.
+    tb.warm_up(10.0)
+    assert node.neighbors.lookup(1) is not None
+    assert node.neighbors.lookup(3).enabled  # blacklist did not survive
+
+
 def test_fail_and_recover_idempotent():
     dep = make_deployment()
     node = dep.testbed.node(2)
