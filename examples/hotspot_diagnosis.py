@@ -9,11 +9,16 @@ application, probe again, and compare:
    congestion shows up as backoff/queueing delay);
 2. traceroute the path while the network is idle → per-hop baseline;
 3. start two application flows that cross in the middle of the chain;
-4. traceroute again and flag the hops whose RTT blew past the baseline.
+4. hand the loaded network to the :class:`~repro.diag.DiagnosisEngine`,
+   which re-probes the path and reduces the evidence to named
+   ``hotspot`` findings with confidences.
 
 Run with::
 
-    python examples/hotspot_diagnosis.py [seed]
+    python examples/hotspot_diagnosis.py [seed] [--raw]
+
+``--raw`` keeps the pre-engine workflow: the legacy
+``find_hotspots`` wrapper and its raw per-hop RTT tables.
 """
 
 import statistics
@@ -21,6 +26,7 @@ import sys
 
 from repro.core.deploy import deploy_liteview
 from repro.core.diagnosis import find_hotspots, probe_path
+from repro.diag import DiagnosisEngine, ProbePlan, Thresholds
 from repro.workloads import Flow, TrafficGenerator, corridor_chain
 
 
@@ -32,7 +38,47 @@ def hop_means(result):
             for hop, values in sorted(by_hop.items())}
 
 
-def main(seed: int = 12) -> None:
+def diagnose_with_engine(deployment, baseline: float) -> None:
+    """The first-class workflow: one plan in, named verdicts out."""
+    engine = DiagnosisEngine(deployment,
+                             thresholds=Thresholds(hotspot_score=1.5))
+    report = engine.run(ProbePlan(paths=((1, 5),), path_rounds=4,
+                                  baseline_rtt_ms=baseline))
+    hotspots = report.of_kind("hotspot")
+    if hotspots:
+        print("hotspots flagged (RTT vs idle baseline):")
+        for finding in hotspots:
+            print(f"  {finding.render()}")
+    else:
+        print("no hotspots above threshold (try a heavier load)")
+    print("\nengine report:")
+    print(report.explain())
+
+
+def diagnose_raw(deployment, baseline: float) -> None:
+    """The legacy wrapper workflow (pre-``repro.diag``), kept verbatim."""
+    loaded = probe_path(deployment, 1, 5, rounds=4)
+    print("loaded network, per-hop RTT (ms):")
+    for hop, rtt in hop_means(loaded).items():
+        marker = "  <-- inflated" if rtt > 1.5 * baseline else ""
+        print(f"  hop {hop}: {rtt:6.1f}{marker}")
+    print()
+
+    hotspots = find_hotspots(deployment, [(1, 5)], rounds=4,
+                             score_threshold=1.5,
+                             baseline_rtt_ms=baseline)
+    if hotspots:
+        print("hotspots flagged (RTT vs idle baseline):")
+        for h in hotspots:
+            print(f"  node {h.node_id}: mean inbound hop RTT "
+                  f"{h.mean_hop_rtt_ms:.1f} ms "
+                  f"({h.score:.1f}x baseline), "
+                  f"max queue {h.max_queue}")
+    else:
+        print("no hotspots above threshold (try a heavier load)")
+
+
+def main(seed: int = 12, raw: bool = False) -> None:
     testbed = corridor_chain(5, seed=seed)
     deployment = deploy_liteview(testbed, warm_up=15.0)
 
@@ -55,30 +101,16 @@ def main(seed: int = 12) -> None:
           "each), crossing in the middle of the chain\n")
 
     # -- step 3: probe under load and compare -------------------------------
-    loaded = probe_path(deployment, 1, 5, rounds=4)
-    print("loaded network, per-hop RTT (ms):")
-    for hop, rtt in hop_means(loaded).items():
-        marker = "  <-- inflated" if rtt > 1.5 * baseline else ""
-        print(f"  hop {hop}: {rtt:6.1f}{marker}")
-    print()
-
-    hotspots = find_hotspots(deployment, [(1, 5)], rounds=4,
-                             score_threshold=1.5,
-                             baseline_rtt_ms=baseline)
+    if raw:
+        diagnose_raw(deployment, baseline)
+    else:
+        diagnose_with_engine(deployment, baseline)
     generator.stop()
 
-    if hotspots:
-        print("hotspots flagged (RTT vs idle baseline):")
-        for h in hotspots:
-            print(f"  node {h.node_id}: mean inbound hop RTT "
-                  f"{h.mean_hop_rtt_ms:.1f} ms "
-                  f"({h.score:.1f}x baseline), "
-                  f"max queue {h.max_queue}")
-    else:
-        print("no hotspots above threshold (try a heavier load)")
     print(f"\nbackground flow delivery ratio under load: "
           f"{generator.delivery_ratio:.0%}")
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)
+    argv = [a for a in sys.argv[1:] if a != "--raw"]
+    main(int(argv[0]) if argv else 12, raw="--raw" in sys.argv[1:])

@@ -12,6 +12,9 @@ The package reproduces the LiteView toolkit in simulation:
 * :mod:`repro.kernel` — LiteOS model: nodes, testbeds, kernel services
 * :mod:`repro.core` — LiteView itself: ping, traceroute, neighborhood
   management, radio configuration, reliable control channel, shell
+* :mod:`repro.diag` — first-class diagnosis: the pluggable probe
+  pipeline, the unified ``Finding`` schema, the ``DiagnosisEngine``
+  and precision/recall scoring against injected faults
 * :mod:`repro.workloads` — topologies and canned scenarios
 * :mod:`repro.faults` — deterministic fault injection: declarative
   plans of crashes, degraded links, interference, corruption
@@ -39,6 +42,13 @@ from repro.core import (
     install_ping,
     install_traceroute,
 )
+from repro.diag import (
+    DiagnosisEngine,
+    DiagnosisReport,
+    Finding,
+    ProbePlan,
+    score_findings,
+)
 from repro.faults import FaultInjector, FaultPlan, FaultSpec, install_faults
 from repro.kernel import SensorNode, Testbed
 from repro.net import WellKnownPorts
@@ -58,6 +68,11 @@ __all__ = [
     "TracerouteResult",
     "install_ping",
     "install_traceroute",
+    "DiagnosisEngine",
+    "DiagnosisReport",
+    "Finding",
+    "ProbePlan",
+    "score_findings",
     "WellKnownPorts",
     "FaultPlan",
     "FaultSpec",

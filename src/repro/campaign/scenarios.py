@@ -149,6 +149,50 @@ def chaos_chain(seed: int, *, nodes: int = 8, fault_plan: object = None,
     }
 
 
+@scenario("diagnosis_sweep")
+def diagnosis_sweep(seed: int, *, nodes: int = 8, fault_plan: object = None,
+                    rounds: int = 6, length: int = 16,
+                    spacing: float = 60.0, settle: float = 5.0):
+    """The closed loop PRs 1–4 built toward: inject a fault plan, run
+    the diagnosis engine, score its findings against the ground truth.
+
+    A chain deploys (15 s warm-up), the world advances until every
+    fault has activated plus ``settle`` seconds, then the engine
+    surveys every adjacent link and the scorer computes precision and
+    recall of the findings against the plan's active specs.  Values are
+    JSON-able, so campaigns can grid over plans, chain sizes and probe
+    budgets and aggregate diagnosis quality.
+    """
+    from repro.core.deploy import deploy_liteview
+    from repro.diag import DiagnosisEngine, ProbePlan, score_findings
+    from repro.faults import FaultPlan, install_faults
+    from repro.workloads import build_chain
+    from repro.workloads.scenarios import QUIET_PROPAGATION
+    testbed = build_chain(int(nodes), spacing=spacing, seed=seed,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    plan = FaultPlan.from_param(fault_plan)
+    install_faults(testbed, plan)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    latest = max((s.at for s in plan.specs), default=0.0) if plan.is_active \
+        else 0.0
+    lead = latest + settle - testbed.env.now
+    if lead > 0:
+        testbed.warm_up(lead)
+    diag_start = testbed.env.now
+    pairs = tuple((i, i + 1) for i in range(1, int(nodes)))
+    report = DiagnosisEngine(dep).run(
+        ProbePlan(links=pairs, rounds=rounds, length=length))
+    score = score_findings(report.findings, plan, at=diag_start)
+    return testbed, {
+        "precision": score["precision"],
+        "recall": score["recall"],
+        "tp": score["tp"], "fp": score["fp"], "fn": score["fn"],
+        "n_faults": score["n_faults"],
+        "n_findings": len(report.findings),
+        "findings": [f.to_dict() for f in report.findings],
+    }
+
+
 @scenario("fig5_traceroute")
 def fig5_traceroute(seed: int, *, attempts: int = 6, length: int = 32):
     """Figure 5 — one 'typical experiment': the first traceroute over the

@@ -7,7 +7,8 @@
   client side: base-station mote and shell-style command interpreter
 * :mod:`repro.core.deploy` — one-call toolkit deployment
 * :mod:`repro.core.diagnosis` — broken/asymmetric-link and hotspot
-  workflows from the abstract
+  workflows from the abstract (back-compat wrappers over
+  :mod:`repro.diag`, the first-class diagnosis subsystem)
 """
 
 from repro.core.commands.ping import PingService, install_ping

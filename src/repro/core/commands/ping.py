@@ -156,7 +156,11 @@ class PingService:
             token = self._token
             probe = PingProbe(token=token, length=length,
                               routing_port=routing_port)
-            started = node.env.now
+            # RTT is measured against the node's own clock ("we only
+            # obtain timing information on the same node"), so a node
+            # with a drifting oscillator reports drifted RTTs — exactly
+            # what a real mote would do.
+            started = node.local_time()
             sent = self._send_probe(target, probe, routing_port)
             if not sent:
                 node.monitor.count("ping.send_failures")
@@ -174,7 +178,7 @@ class PingService:
                 node.monitor.count("ping.timeouts")
             else:
                 reply, arrival, reply_packet = values[0]
-                rtt_ms = to_ms(node.env.now - started)
+                rtt_ms = to_ms(node.local_time() - started)
                 node.monitor.observe("ping.rtt_ms", rtt_ms)
                 # The reply's padding region holds the whole round trip:
                 # the forward entries it was seeded with, then one entry

@@ -176,13 +176,15 @@ class TracerouteService:
             hop_index=hop_index, routing_port=routing_port, length=length,
         )
         reply = arrival = None
-        started = node.env.now
+        # Hop RTT is measured on the prober's own clock (no network time
+        # synchronization), so local clock drift shows up in the reports.
+        started = node.local_time()
         for _attempt in range(PROBE_ATTEMPTS):
             out = Packet(
                 port=WellKnownPorts.TRACEROUTE, origin=node.id,
                 dest=next_hop, payload=probe.to_bytes(),
             )
-            started = node.env.now
+            started = node.local_time()
             if not node.stack.send(out, next_hop, kind="traceroute"):
                 node.monitor.count("traceroute.send_failures")
                 return
@@ -201,7 +203,7 @@ class TracerouteService:
         if reply is None:
             node.monitor.count("traceroute.hop_failures")
             return
-        rtt_us = int(round((node.env.now - started) * 1e6))
+        rtt_us = int(round((node.local_time() - started) * 1e6))
         report = TraceReport(
             session=session, probed_node=next_hop, hop_index=hop_index,
             rtt_us=rtt_us,
@@ -271,7 +273,7 @@ class TracerouteService:
         for _round in range(rounds):
             self._session = (self._session + 1) & 0xFFFF
             session = self._session
-            round_started = node.env.now
+            round_started = node.local_time()
             done = Event(node.env)
 
             def collect(report: TraceReport, _started=round_started,
@@ -293,7 +295,7 @@ class TracerouteService:
                         queue_remote=report.queue_remote,
                         queue_local=report.queue_local,
                     ),
-                    arrival_ms=to_ms(node.env.now - _started),
+                    arrival_ms=to_ms(node.local_time() - _started),
                 ))
                 if report.probed_node == result.target_id:
                     if not _done.triggered:

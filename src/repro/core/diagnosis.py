@@ -1,28 +1,28 @@
-"""End-user diagnosis built on the LiteView commands.
+"""End-user diagnosis built on the LiteView commands (legacy surface).
 
 The paper's abstract promises that the toolkit "allows users to identify
 broken links or asymmetric links, which are likely to become traffic
 bottlenecks" and "to identify traffic hotspots by collecting round-trip
-delays of arbitrary pairs of nodes".  This module packages those
-workflows: it drives the same shell-level commands a human would, and
-reduces the results to actionable classifications.
+delays of arbitrary pairs of nodes".  These entry points package those
+workflows and keep their original signatures, but the machinery now
+lives in :mod:`repro.diag`: every function here is a thin wrapper over
+the probe pipeline (:mod:`repro.diag.probe`) and the diagnosis engine
+(:mod:`repro.diag.engine`), which add named :class:`~repro.diag.
+findings.Finding` verdicts, confidence, and campaign scoring on top.
 
-Everything here works through the workstation (walk to a node, run its
+Everything still works through the workstation (walk to a node, run its
 commands over the reliable protocol) — no simulator internals are read,
 so these diagnostics exercise the full toolkit path.
 """
 
 from __future__ import annotations
 
-import statistics
-import struct
 import typing as _t
-from dataclasses import dataclass
 
-from repro.core.deploy import LiteViewDeployment
-from repro.core.serialize import decode_ping_result, decode_trace_result
-from repro.core.wire import MsgType
-from repro.errors import CommandTimeout
+from repro.diag.observations import Hotspot, LinkReport
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.deploy import LiteViewDeployment
 
 __all__ = [
     "LinkReport",
@@ -37,26 +37,6 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class LinkReport:
-    """What probing one directed neighbor link revealed."""
-
-    src: int
-    dst: int
-    sent: int
-    received: int
-    mean_rtt_ms: float | None
-    lqi_forward: float | None    # remote-measured (our packets arriving)
-    lqi_backward: float | None   # locally measured (their replies)
-    rssi_forward: float | None
-    rssi_backward: float | None
-
-    @property
-    def loss_ratio(self) -> float:
-        """Probe round-trip loss fraction."""
-        return 1.0 - self.received / self.sent if self.sent else 1.0
-
-
 class LinkClass:
     """Diagnosis labels for a probed link."""
 
@@ -64,57 +44,31 @@ class LinkClass:
     BROKEN = "broken"
     ASYMMETRIC = "asymmetric"
     LOSSY = "lossy"
+    #: The probe command never ran (node down, request rejected): the
+    #: report carries no evidence about the link either way.
+    NO_DATA = "no_data"
 
 
-@dataclass(frozen=True)
-class Hotspot:
-    """A node whose inbound hops show congestion indicators."""
-
-    node_id: int
-    mean_hop_rtt_ms: float
-    max_queue: int
-    samples: int
-    score: float
-
-
-def _run_ping(deployment: LiteViewDeployment, src: int, dst: int, *,
-              rounds: int, length: int, port: int):
-    ws = deployment.workstation
-    ws.attach_near(src)
-    body = struct.pack(">HBBB", dst, rounds, length, port)
-    reply = ws.call(src, MsgType.RUN_PING, body,
-                    window=rounds * 0.6 + 2.5, wait_full_window=False)
-    if not reply.ok:
-        return None
-    return decode_ping_result(reply.body, deployment.testbed.namespace)
-
-
-def survey_link(deployment: LiteViewDeployment, src: int, dst: int, *,
+def survey_link(deployment: "LiteViewDeployment", src: int, dst: int, *,
                 rounds: int = 10, length: int = 32) -> LinkReport:
-    """Probe the one-hop link ``src → dst`` with repeated pings."""
-    try:
-        result = _run_ping(deployment, src, dst,
-                           rounds=rounds, length=length, port=0)
-    except CommandTimeout:
-        result = None
-    if result is None or not result.rounds:
-        sent = result.sent if result is not None else rounds
-        return LinkReport(src=src, dst=dst, sent=sent, received=0,
-                          mean_rtt_ms=None, lqi_forward=None,
-                          lqi_backward=None, rssi_forward=None,
-                          rssi_backward=None)
-    links = [r.link for r in result.rounds]
-    return LinkReport(
-        src=src, dst=dst, sent=result.sent, received=result.received,
-        mean_rtt_ms=result.mean_rtt_ms,
-        lqi_forward=statistics.fmean(l.lqi_forward for l in links),
-        lqi_backward=statistics.fmean(l.lqi_backward for l in links),
-        rssi_forward=statistics.fmean(l.rssi_forward for l in links),
-        rssi_backward=statistics.fmean(l.rssi_backward for l in links),
-    )
+    """Probe the one-hop link ``src → dst`` with repeated pings.
+
+    A run whose command fails outright (timeout, unreachable node,
+    rejected request) reports ``sent=rounds, received=0`` — note that
+    :attr:`LinkReport.loss_ratio` also returns its 1.0 sentinel for
+    ``sent == 0`` reports, which mean *no data*, not loss; see
+    :attr:`LinkReport.has_data`.
+    """
+    from repro.diag.probe import LinkProbe, ProbeExecutor
+    probe = LinkProbe(src=src, dst=dst, rounds=rounds,
+                      length=length, port=0)
+    outcome = ProbeExecutor(deployment).run(probe)
+    if outcome.ok:
+        return outcome.value
+    return probe.failure_observation()
 
 
-def survey_links(deployment: LiteViewDeployment,
+def survey_links(deployment: "LiteViewDeployment",
                  pairs: _t.Iterable[tuple[int, int]], *,
                  rounds: int = 10, length: int = 32) -> list[LinkReport]:
     """Probe several directed links (the site-survey walk)."""
@@ -129,54 +83,68 @@ def classify_link(report: LinkReport, *,
                   asym_rssi: float = 8.0) -> str:
     """Label one link report.
 
+    * ``no_data`` — ``sent == 0``: the probe never ran, so the report
+      says nothing about the link (despite ``loss_ratio``'s historical
+      1.0 sentinel for that case — "no data" is not "broken").
     * ``broken`` — essentially no probe completes.
     * ``asymmetric`` — both directions observable but forward/backward
       LQI or RSSI differ beyond the thresholds (the links "likely to
       become traffic bottlenecks").
     * ``lossy`` — round-trip loss above ``lossy_loss``.
     * ``healthy`` — everything else.
+
+    Thin wrapper over :func:`repro.diag.engine.reduce_link_finding`,
+    which additionally yields evidence and confidence.
     """
-    if report.loss_ratio >= broken_loss:
-        return LinkClass.BROKEN
-    if report.lqi_forward is not None and report.lqi_backward is not None:
-        if abs(report.lqi_forward - report.lqi_backward) >= asym_lqi:
-            return LinkClass.ASYMMETRIC
-        if (report.rssi_forward is not None
-                and report.rssi_backward is not None
-                and abs(report.rssi_forward - report.rssi_backward)
-                >= asym_rssi):
-            return LinkClass.ASYMMETRIC
-    if report.loss_ratio >= lossy_loss:
-        return LinkClass.LOSSY
-    return LinkClass.HEALTHY
+    if not report.has_data:
+        return LinkClass.NO_DATA
+    from repro.diag.engine import Thresholds, reduce_link_finding
+    finding = reduce_link_finding(report, Thresholds(
+        broken_loss=broken_loss, lossy_loss=lossy_loss,
+        asym_lqi=asym_lqi, asym_rssi=asym_rssi,
+    ))
+    if finding is None:
+        return LinkClass.HEALTHY
+    return {
+        "broken_link": LinkClass.BROKEN,
+        "asymmetric_link": LinkClass.ASYMMETRIC,
+        "lossy_link": LinkClass.LOSSY,
+    }[finding.kind]
 
 
 def classify_links(reports: _t.Iterable[LinkReport],
                    **thresholds: float) -> dict[str, list[LinkReport]]:
-    """Group link reports by diagnosis label."""
+    """Group link reports by diagnosis label (``no_data`` included)."""
     groups: dict[str, list[LinkReport]] = {
         LinkClass.HEALTHY: [], LinkClass.BROKEN: [],
         LinkClass.ASYMMETRIC: [], LinkClass.LOSSY: [],
+        LinkClass.NO_DATA: [],
     }
     for report in reports:
         groups[classify_link(report, **thresholds)].append(report)
     return groups
 
 
-def probe_path(deployment: LiteViewDeployment, src: int, dst: int, *,
+def probe_path(deployment: "LiteViewDeployment", src: int, dst: int, *,
                rounds: int = 1, length: int = 32, port: int = 10):
-    """Traceroute ``src → dst`` through the toolkit (hotspot raw data)."""
-    ws = deployment.workstation
-    ws.attach_near(src)
-    body = struct.pack(">HBBB", dst, rounds, length, port)
-    reply = ws.call(src, MsgType.RUN_TRACEROUTE, body,
-                    window=rounds * 6.5 + 3.0, wait_full_window=False)
-    if not reply.ok:
-        return None
-    return decode_trace_result(reply.body, deployment.testbed.namespace)
+    """Traceroute ``src → dst`` through the toolkit (hotspot raw data).
+
+    Returns the :class:`~repro.core.results.TracerouteResult`, ``None``
+    if the node rejected the request, and raises
+    :class:`~repro.errors.CommandTimeout` when no reply arrives —
+    matching the original hand-rolled drive loop.
+    """
+    from repro.diag.probe import PathProbe, ProbeExecutor
+    outcome = ProbeExecutor(deployment).run(PathProbe(
+        src=src, dst=dst, rounds=rounds, length=length, port=port))
+    if outcome.ok:
+        return outcome.value
+    if outcome.exception is not None:
+        raise outcome.exception
+    return None
 
 
-def find_hotspots(deployment: LiteViewDeployment,
+def find_hotspots(deployment: "LiteViewDeployment",
                   pairs: _t.Iterable[tuple[int, int]], *,
                   rounds: int = 1, port: int = 10,
                   min_samples: int = 1,
@@ -193,39 +161,22 @@ def find_hotspots(deployment: LiteViewDeployment,
     compare under load, so uniformly congested regions still stand out.
     Without a baseline, the testbed-wide median of the current probe is
     used (adequate when only part of the network is hot).
+
+    Thin wrapper over :class:`repro.diag.engine.DiagnosisEngine`, whose
+    ``hotspot`` findings carry the same statistics as evidence.
     """
-    rtts: dict[int, list[float]] = {}
-    queues: dict[int, int] = {}
-    for src, dst in pairs:
-        try:
-            result = probe_path(deployment, src, dst,
-                                rounds=rounds, port=port)
-        except CommandTimeout:
-            continue
-        if result is None:
-            continue
-        for hop in result.hops:
-            rtts.setdefault(hop.probed_node_id, []).append(hop.rtt_ms)
-            queues[hop.probed_node_id] = max(
-                queues.get(hop.probed_node_id, 0), hop.link.queue_remote
-            )
-    if not rtts:
-        return []
-    all_means = {
-        node: statistics.fmean(values)
-        for node, values in rtts.items() if len(values) >= min_samples
-    }
-    if not all_means:
-        return []
-    baseline = (baseline_rtt_ms if baseline_rtt_ms is not None
-                else statistics.median(all_means.values()))
-    hotspots = []
-    for node, mean_rtt in all_means.items():
-        score = mean_rtt / baseline if baseline > 0 else float("inf")
-        if score >= score_threshold or queues.get(node, 0) >= 2:
-            hotspots.append(Hotspot(
-                node_id=node, mean_hop_rtt_ms=mean_rtt,
-                max_queue=queues.get(node, 0),
-                samples=len(rtts[node]), score=score,
-            ))
+    from repro.diag.engine import DiagnosisEngine, ProbePlan, Thresholds
+    engine = DiagnosisEngine(deployment, thresholds=Thresholds(
+        hotspot_score=score_threshold, min_samples=min_samples))
+    report = engine.run(ProbePlan(
+        paths=tuple(pairs), path_rounds=rounds, routing_port=port,
+        baseline_rtt_ms=baseline_rtt_ms))
+    hotspots = [
+        Hotspot(node_id=f.node,
+                mean_hop_rtt_ms=f.evidence["mean_hop_rtt_ms"],
+                max_queue=f.evidence["max_queue"],
+                samples=f.evidence["samples"],
+                score=f.evidence["score"])
+        for f in report.of_kind("hotspot")
+    ]
     return sorted(hotspots, key=lambda h: h.score, reverse=True)

@@ -21,11 +21,6 @@ import struct
 import typing as _t
 
 from repro.core.results import PingResult, TracerouteResult
-from repro.core.serialize import (
-    decode_neighbor_views,
-    decode_ping_result,
-    decode_trace_result,
-)
 from repro.core.wire import MsgType
 from repro.core.workstation import Workstation
 from repro.errors import (
@@ -69,6 +64,8 @@ class CommandInterpreter:
         self.neighbor_mode = False
         #: Structured result of the last ping/traceroute, for tooling.
         self.last_result: PingResult | TracerouteResult | None = None
+        #: Structured report of the last ``diagnose`` run, for tooling.
+        self.last_report = None
         #: The sim profiler, kept across ``profile off`` so ``profile
         #: report`` can still print the collected hotspot table.
         self._profiler: SimProfiler | None = None
@@ -109,6 +106,7 @@ class CommandInterpreter:
             "attach": self._cmd_attach,
             "ping": self._cmd_ping,
             "traceroute": self._cmd_traceroute,
+            "diagnose": self._cmd_diagnose,
             "power": self._cmd_power,
             "channel": self._cmd_channel,
             "scan": self._cmd_scan,
@@ -159,9 +157,11 @@ class CommandInterpreter:
         return ""
 
     def _cmd_help(self, args: list[str]) -> str:
-        return ("commands: pwd cd ls attach ping traceroute power channel "
-                "scan group events ps kill stats trace profile "
+        return ("commands: pwd cd ls attach ping traceroute diagnose power "
+                "channel scan group events ps kill stats trace profile "
                 "neighborsetup\n"
+                "diagnosis: diagnose <node> (trace the path, survey its "
+                "hops, name what's wrong)\n"
                 "observability: stats (metrics snapshot) | "
                 "trace on|off|last|<origin:port:seq> (packet lifecycle) | "
                 "profile on|off|report (event-loop hotspots)"
@@ -175,21 +175,35 @@ class CommandInterpreter:
             raise CommandError("no current node: cd to a node first")
         return self.cwd
 
+    def _probe_call(self, probe):
+        """Issue a probe's wire request from the *current* position.
+
+        The shell deliberately does not use the executor: the user
+        chooses where the workstation stands (``attach``), so only the
+        probe's plan (message, body, window) is borrowed.
+        """
+        request = probe.request()
+        reply = self.ws.call(
+            request.node, request.msg_type, request.body,
+            window=request.window,
+            wait_full_window=request.wait_full_window,
+        )
+        if not reply.ok:
+            return None, f"error: {reply.body.decode(errors='replace')}"
+        return probe.decode(reply.body, self.testbed.namespace), ""
+
     def _cmd_ping(self, args: list[str]) -> str:
         if not args:
             raise ParameterError("usage: ping <node> [round=] [length=] [port=]")
         target = self.testbed.namespace.resolve(args[0])
         params = _parse_kv(args[1:], {"round": 1, "length": 32, "port": 0})
-        body = struct.pack(">HBBB", target, params["round"],
-                           params["length"], params["port"])
-        window = params["round"] * 0.6 + 2.5
-        reply = self.ws.call(
-            self._current(), MsgType.RUN_PING, body,
-            window=window, wait_full_window=False,
-        )
-        if not reply.ok:
-            return f"error: {reply.body.decode(errors='replace')}"
-        result = decode_ping_result(reply.body, self.testbed.namespace)
+        from repro.diag.probe import LinkProbe
+        result, error = self._probe_call(LinkProbe(
+            src=self._current(), dst=target, rounds=params["round"],
+            length=params["length"], port=params["port"],
+        ))
+        if result is None:
+            return error
         self.last_result = result
         return result.render()
 
@@ -202,18 +216,38 @@ class CommandInterpreter:
         params = _parse_kv(args[1:], {
             "round": 1, "length": 32, "port": WellKnownPorts.GEOGRAPHIC,
         })
-        body = struct.pack(">HBBB", target, params["round"],
-                           params["length"], params["port"])
-        window = params["round"] * 6.5 + 3.0
-        reply = self.ws.call(
-            self._current(), MsgType.RUN_TRACEROUTE, body,
-            window=window, wait_full_window=False,
-        )
-        if not reply.ok:
-            return f"error: {reply.body.decode(errors='replace')}"
-        result = decode_trace_result(reply.body, self.testbed.namespace)
+        from repro.diag.probe import PathProbe
+        result, error = self._probe_call(PathProbe(
+            src=self._current(), dst=target, rounds=params["round"],
+            length=params["length"], port=params["port"],
+        ))
+        if result is None:
+            return error
         self.last_result = result
         return result.render()
+
+    def _cmd_diagnose(self, args: list[str]) -> str:
+        """Automated verdicts: trace the path, survey its hop links,
+        name what's wrong (``repro.diag`` engine behind the shell)."""
+        if not args:
+            raise ParameterError(
+                "usage: diagnose <node> [round=] [length=] [port=]"
+            )
+        target = self.testbed.namespace.resolve(args[0])
+        params = _parse_kv(args[1:], {
+            "round": 5, "length": 32, "port": WellKnownPorts.GEOGRAPHIC,
+        })
+        src = self._current()
+        from repro.diag.engine import DiagnosisEngine
+        report = DiagnosisEngine(self.ws).diagnose(
+            src, target, rounds=params["round"],
+            length=params["length"], port=params["port"],
+        )
+        self.last_report = report
+        # The engine walked the workstation along the path; come home so
+        # follow-up shell commands still reach the current node.
+        self.ws.attach_near(src)
+        return report.explain()
 
     def _cmd_power(self, args: list[str]) -> str:
         if args:
@@ -239,22 +273,16 @@ class CommandInterpreter:
         """Survey ambient energy across channels on the current node."""
         params = _parse_kv(args, {"first": 11, "count": 16, "samples": 4,
                                   "dwell": 10})
-        body = struct.pack(">BBBH", params["first"], params["count"],
-                           params["samples"], params["dwell"])
-        duration = (params["count"] * params["samples"]
-                    * params["dwell"] / 1000.0)
-        reply = self.ws.call(
-            self._current(), MsgType.SCAN_CHANNELS, body,
-            window=duration + 2.5, wait_full_window=False,
-        )
-        if not reply.ok:
-            return f"error: {reply.body.decode(errors='replace')}"
-        from repro.core.wire import unpack_signed
-        count = reply.body[0]
+        from repro.diag.probe import ChannelScanProbe
+        rows, error = self._probe_call(ChannelScanProbe(
+            node=self._current(), first=params["first"],
+            count=params["count"], samples=params["samples"],
+            dwell_ms=params["dwell"],
+        ))
+        if rows is None:
+            return error
         lines = ["channel  peak RSSI"]
-        for i in range(count):
-            channel = reply.body[1 + 2 * i]
-            reading = unpack_signed(reply.body[2 + 2 * i])
+        for channel, reading in rows:
             bar = "#" * max(0, (reading + 60) // 3)
             lines.append(f"{channel:>7}  {reading:>9}  {bar}")
         return "\n".join(lines)
@@ -432,10 +460,10 @@ class CommandInterpreter:
         return ""
 
     def _cmd_list(self, args: list[str]) -> str:
-        reply = self.ws.call(self._current(), MsgType.NEIGHBOR_LIST, b"\x01")
-        if not reply.ok:
-            return f"error: {reply.body.decode(errors='replace')}"
-        views = decode_neighbor_views(reply.body)
+        from repro.diag.probe import NeighborProbe
+        views, error = self._probe_call(NeighborProbe(node=self._current()))
+        if views is None:
+            return error
         if not views:
             return "neighbor table is empty"
         namespace = self.testbed.namespace

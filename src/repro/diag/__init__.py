@@ -1,0 +1,69 @@
+"""repro.diag — first-class end-user diagnosis.
+
+The subsystem the paper is about, promoted out of ad-hoc helpers:
+
+* :mod:`repro.diag.probe` — the pluggable probe pipeline (plan → wire
+  request → decode → typed observation) behind ping, traceroute,
+  neighbor surveys and channel scans;
+* :mod:`repro.diag.observations` — the typed observations probes yield;
+* :mod:`repro.diag.findings` — the unified, canonically-JSON
+  ``Finding`` schema and ``DiagnosisReport.explain()``;
+* :mod:`repro.diag.engine` — ``DiagnosisEngine`` running declarative
+  ``ProbePlan``s and reducing observations to named verdicts;
+* :mod:`repro.diag.score` — precision/recall of findings against
+  injected ground truth (:mod:`repro.faults`).
+
+The legacy entry points (``survey_link``, ``classify_link``,
+``find_hotspots``, ``probe_path``) live on in
+:mod:`repro.core.diagnosis` as thin wrappers over this package.
+"""
+
+from repro.diag.engine import (
+    DiagnosisEngine,
+    ProbePlan,
+    Thresholds,
+    reduce_dead_node,
+    reduce_hotspot_findings,
+    reduce_interference_findings,
+    reduce_link_finding,
+)
+from repro.diag.findings import FINDING_KINDS, DiagnosisReport, Finding
+from repro.diag.observations import ChannelReading, Hotspot, LinkReport
+from repro.diag.probe import (
+    ChannelScanProbe,
+    LinkProbe,
+    NeighborProbe,
+    PathProbe,
+    Probe,
+    ProbeExecutor,
+    ProbeOutcome,
+    ProbeRequest,
+)
+from repro.diag.score import active_specs, score_findings, spec_matches_finding
+
+__all__ = [
+    "DiagnosisEngine",
+    "ProbePlan",
+    "Thresholds",
+    "reduce_link_finding",
+    "reduce_dead_node",
+    "reduce_hotspot_findings",
+    "reduce_interference_findings",
+    "FINDING_KINDS",
+    "Finding",
+    "DiagnosisReport",
+    "LinkReport",
+    "Hotspot",
+    "ChannelReading",
+    "Probe",
+    "ProbeRequest",
+    "ProbeOutcome",
+    "ProbeExecutor",
+    "LinkProbe",
+    "PathProbe",
+    "NeighborProbe",
+    "ChannelScanProbe",
+    "score_findings",
+    "spec_matches_finding",
+    "active_specs",
+]

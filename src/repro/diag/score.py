@@ -1,0 +1,140 @@
+"""Scoring diagnosis output against ground-truth fault plans.
+
+In the simulator — unlike in the field — we *know* what is wrong,
+because we injected it (:mod:`repro.faults`).  That turns diagnosis
+quality into a measurable quantity: treat each active
+:class:`~repro.faults.spec.FaultSpec` as a ground-truth positive, each
+:class:`~repro.diag.findings.Finding` as a prediction, and compute
+precision/recall over a greedy one-to-one matching.  The
+``diagnosis_sweep`` campaign scenario grids over exactly this.
+
+A finding matches a spec when it names the fault's footprint:
+
+===================  ====================================================
+fault kind           matching findings
+===================  ====================================================
+node_crash           ``dead_node`` naming a crashed node
+node_reboot          ``dead_node`` naming a rebooting node (probed
+                     during the downtime window)
+link_degrade         ``broken_link`` / ``lossy_link`` /
+                     ``asymmetric_link`` on the degraded pair (either
+                     direction unless the fault was ``directed``)
+interference_burst   ``interference`` on the jammed channel
+packet_corrupt       ``lossy_link`` / ``broken_link`` touching a scoped
+                     node (any link when the fault is unscoped)
+queue_saturate       ``hotspot`` naming a saturated node, or a
+                     ``lossy_link``/``broken_link`` touching one
+clock_drift          ``hotspot`` — a drifted clock corrupts every RTT
+                     the node measures, surfacing as spurious
+                     congestion along paths it probes
+===================  ====================================================
+
+This module is pure: it never imports the simulator, only reads the
+spec/finding data classes handed to it.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.diag.findings import Finding
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.spec import FaultPlan, FaultSpec
+
+__all__ = ["spec_matches_finding", "active_specs", "score_findings"]
+
+_LINK_KINDS = ("broken_link", "lossy_link", "asymmetric_link")
+
+
+def _touches(finding: Finding, nodes: tuple[int, ...]) -> bool:
+    """Does the finding's subject involve any of ``nodes``?"""
+    if finding.node is not None and finding.node in nodes:
+        return True
+    if finding.link is not None and any(n in nodes for n in finding.link):
+        return True
+    return False
+
+
+def spec_matches_finding(spec: "FaultSpec", finding: Finding) -> bool:
+    """Whether ``finding`` correctly names the fault ``spec`` injected."""
+    kind = spec.kind
+    if kind in ("node_crash", "node_reboot"):
+        return (finding.kind == "dead_node"
+                and finding.node in spec.nodes)
+    if kind == "link_degrade":
+        if finding.kind not in _LINK_KINDS or finding.link is None:
+            return False
+        if finding.link == spec.link:
+            return True
+        return not spec.directed and finding.link == spec.link[::-1]
+    if kind == "interference_burst":
+        return (finding.kind == "interference"
+                and finding.channel == spec.channel)
+    if kind == "packet_corrupt":
+        if finding.kind not in ("lossy_link", "broken_link"):
+            return False
+        return not spec.nodes or _touches(finding, spec.nodes)
+    if kind == "queue_saturate":
+        if finding.kind == "hotspot":
+            return finding.node in spec.nodes
+        if finding.kind in ("lossy_link", "broken_link"):
+            return _touches(finding, spec.nodes)
+        return False
+    if kind == "clock_drift":
+        return finding.kind == "hotspot"
+    return False
+
+
+def active_specs(plan: "FaultPlan", at: float | None = None,
+                 ) -> list["FaultSpec"]:
+    """The plan's specs that are in force at time ``at``.
+
+    ``at=None`` counts every spec of an enabled plan.  A spec counts
+    when it has activated (``spec.at <= at``) and has not yet expired
+    (open-ended faults never expire).
+    """
+    if not plan.is_active:
+        return []
+    if at is None:
+        return list(plan.specs)
+    return [s for s in plan.specs
+            if s.at <= at and (s.ends_at is None or s.ends_at > at)]
+
+
+def score_findings(findings: _t.Iterable[Finding], plan: "FaultPlan", *,
+                   at: float | None = None) -> dict:
+    """Precision/recall of ``findings`` against the plan's ground truth.
+
+    Greedy one-to-one matching: each active spec claims the first
+    still-unclaimed finding that names it.  Unclaimed specs are false
+    negatives; unclaimed findings are false positives.  ``at`` filters
+    the ground truth to faults active when diagnosis ran, so expired
+    transients are not demanded of the engine.
+    """
+    findings = list(findings)
+    truth = active_specs(plan, at)
+    claimed: set[int] = set()
+    matches: list[dict] = []
+    for spec in truth:
+        for idx, finding in enumerate(findings):
+            if idx in claimed:
+                continue
+            if spec_matches_finding(spec, finding):
+                claimed.add(idx)
+                matches.append({"fault": spec.kind,
+                                "finding": finding.to_dict()})
+                break
+    tp = len(claimed)
+    fp = len(findings) - tp
+    fn = len(truth) - tp
+    return {
+        "tp": tp,
+        "fp": fp,
+        "fn": fn,
+        "precision": tp / (tp + fp) if (tp + fp) else 1.0,
+        "recall": tp / (tp + fn) if (tp + fn) else 1.0,
+        "n_findings": len(findings),
+        "n_faults": len(truth),
+        "matches": matches,
+    }

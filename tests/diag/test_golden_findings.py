@@ -1,0 +1,79 @@
+"""Golden determinism of canonical Finding JSON under a fixed seed.
+
+``tests/golden/diag_findings_golden.json`` pins the byte-exact
+canonical JSON a seeded diagnosis run emits — findings and the scored
+matches.  If a future change legitimately alters diagnosis output
+(new evidence keys, retuned thresholds), recapture the fixture
+deliberately with ``tests/diag/test_golden_findings.py --capture``
+(see ``capture()`` below); never loosen the asserts.
+"""
+
+import json
+import pathlib
+
+from repro.campaign.scenarios import resolve_scenario
+from repro.core.deploy import deploy_liteview
+from repro.diag import DiagnosisEngine, ProbePlan
+from repro.faults import FaultPlan, FaultSpec, install_faults
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+GOLDEN_PATH = (pathlib.Path(__file__).parent.parent
+               / "golden" / "diag_findings_golden.json")
+
+PLAN = FaultPlan(name="golden-diag", specs=(
+    FaultSpec(kind="link_degrade", at=20.0, link=(2, 3), loss_db=80.0),
+    FaultSpec(kind="node_crash", at=20.0, nodes=(6,)),
+))
+
+
+def run_sweep() -> dict:
+    """The fixture generator: one seeded diagnosis_sweep, serialized."""
+    scenario = resolve_scenario("diagnosis_sweep")
+    _, values = scenario(7, nodes=8, fault_plan=PLAN.to_param())
+    return {
+        "finding_json": [
+            json.dumps(f, sort_keys=True, separators=(",", ":"))
+            for f in values["findings"]
+        ],
+        "precision": values["precision"],
+        "recall": values["recall"],
+    }
+
+
+def run_engine_report() -> dict:
+    """A direct engine run (no campaign): report-level canonical JSON."""
+    testbed = build_chain(8, spacing=60.0, seed=7,
+                          propagation_kwargs=QUIET_PROPAGATION)
+    install_faults(testbed, PLAN)
+    deployment = deploy_liteview(testbed, warm_up=15.0)
+    testbed.warm_up(25.0 - testbed.env.now)
+    report = DiagnosisEngine(deployment).run(ProbePlan(
+        links=tuple((i, i + 1) for i in range(1, 8)), rounds=6, length=16))
+    return {"report_json": report.to_json()}
+
+
+def capture() -> dict:
+    return {"sweep_seed7": run_sweep(),
+            "engine_report_seed7": run_engine_report()}
+
+
+GOLDEN = (json.loads(GOLDEN_PATH.read_text())
+          if GOLDEN_PATH.exists() else {})  # empty only mid-recapture
+
+
+def test_sweep_findings_match_golden_bytes():
+    assert run_sweep() == GOLDEN["sweep_seed7"]
+
+
+def test_engine_report_matches_golden_bytes():
+    assert run_engine_report() == GOLDEN["engine_report_seed7"]
+
+
+def test_same_seed_twice_is_identical():
+    assert run_engine_report() == run_engine_report()
+
+
+if __name__ == "__main__":  # fixture recapture entry point
+    GOLDEN_PATH.write_text(json.dumps(capture(), indent=2) + "\n")
+    print(f"captured {GOLDEN_PATH}")

@@ -1,0 +1,136 @@
+"""Ground-truth scoring: match rules, active windows, precision/recall."""
+
+from repro.diag import Finding, active_specs, score_findings, spec_matches_finding
+from repro.faults import FaultPlan, FaultSpec
+
+
+def _dead(node):
+    return Finding(kind="dead_node", node=node)
+
+
+def _link(kind, link):
+    return Finding(kind=kind, link=link)
+
+
+# -- per-kind match rules -----------------------------------------------------
+
+def test_node_crash_matches_dead_node():
+    spec = FaultSpec(kind="node_crash", at=10.0, nodes=(6,))
+    assert spec_matches_finding(spec, _dead(6))
+    assert not spec_matches_finding(spec, _dead(5))
+    assert not spec_matches_finding(spec, _link("broken_link", (5, 6)))
+
+
+def test_node_reboot_matches_dead_node_in_window():
+    spec = FaultSpec(kind="node_reboot", at=10.0, duration=5.0, nodes=(3,))
+    assert spec_matches_finding(spec, _dead(3))
+
+
+def test_link_degrade_matches_either_direction_unless_directed():
+    spec = FaultSpec(kind="link_degrade", at=10.0, link=(2, 3), loss_db=40.0)
+    assert spec_matches_finding(spec, _link("broken_link", (2, 3)))
+    assert spec_matches_finding(spec, _link("lossy_link", (3, 2)))
+    assert spec_matches_finding(spec, _link("asymmetric_link", (2, 3)))
+    assert not spec_matches_finding(spec, _link("broken_link", (3, 4)))
+    directed = FaultSpec(kind="link_degrade", at=10.0, link=(2, 3),
+                         loss_db=40.0, directed=True)
+    assert spec_matches_finding(directed, _link("broken_link", (2, 3)))
+    assert not spec_matches_finding(directed, _link("broken_link", (3, 2)))
+
+
+def test_interference_matches_on_channel():
+    spec = FaultSpec(kind="interference_burst", at=10.0, duration=2.0,
+                     channel=20, loss_db=30.0)
+    assert spec_matches_finding(spec, Finding(kind="interference", channel=20))
+    assert not spec_matches_finding(
+        spec, Finding(kind="interference", channel=21))
+
+
+def test_packet_corrupt_matches_loss_touching_scoped_node():
+    spec = FaultSpec(kind="packet_corrupt", at=10.0, probability=0.4,
+                     nodes=(3,))
+    assert spec_matches_finding(spec, _link("lossy_link", (2, 3)))
+    assert spec_matches_finding(spec, _link("broken_link", (3, 4)))
+    assert not spec_matches_finding(spec, _link("lossy_link", (1, 2)))
+    unscoped = FaultSpec(kind="packet_corrupt", at=10.0, probability=0.4)
+    assert spec_matches_finding(unscoped, _link("lossy_link", (1, 2)))
+
+
+def test_queue_saturate_matches_hotspot_or_adjacent_loss():
+    spec = FaultSpec(kind="queue_saturate", at=10.0, nodes=(3,), capacity=1)
+    assert spec_matches_finding(spec, Finding(kind="hotspot", node=3))
+    assert spec_matches_finding(spec, _link("lossy_link", (2, 3)))
+    assert not spec_matches_finding(spec, Finding(kind="hotspot", node=2))
+    assert not spec_matches_finding(spec, _link("lossy_link", (1, 2)))
+
+
+def test_clock_drift_matches_any_hotspot():
+    spec = FaultSpec(kind="clock_drift", at=10.0, nodes=(2,), drift=1.0)
+    assert spec_matches_finding(spec, Finding(kind="hotspot", node=3))
+    assert not spec_matches_finding(spec, _dead(2))
+
+
+# -- active windows -----------------------------------------------------------
+
+def _plan(*specs, **kw):
+    return FaultPlan(name="test", specs=specs, **kw)
+
+
+def test_active_specs_filters_by_time():
+    open_ended = FaultSpec(kind="node_crash", at=20.0, nodes=(6,))
+    transient = FaultSpec(kind="interference_burst", at=10.0, duration=5.0,
+                          channel=20, loss_db=30.0)
+    plan = _plan(open_ended, transient)
+    assert active_specs(plan, at=5.0) == []          # nothing started
+    assert active_specs(plan, at=12.0) == [transient]
+    assert active_specs(plan, at=30.0) == [open_ended]  # burst expired
+    assert active_specs(plan, at=None) == [open_ended, transient]
+
+
+def test_reboot_downtime_defines_its_active_window():
+    reboot = FaultSpec(kind="node_reboot", at=10.0, duration=5.0, nodes=(3,))
+    plan = _plan(reboot)
+    assert active_specs(plan, at=12.0) == [reboot]
+    assert active_specs(plan, at=16.0) == []  # back up again
+
+
+def test_disabled_plan_has_no_ground_truth():
+    spec = FaultSpec(kind="node_crash", at=10.0, nodes=(6,))
+    assert active_specs(_plan(spec, enabled=False), at=20.0) == []
+
+
+# -- precision / recall -------------------------------------------------------
+
+def test_perfect_diagnosis_scores_one():
+    plan = _plan(FaultSpec(kind="node_crash", at=10.0, nodes=(6,)),
+                 FaultSpec(kind="link_degrade", at=10.0, link=(2, 3),
+                           loss_db=40.0))
+    score = score_findings([_dead(6), _link("broken_link", (2, 3))],
+                           plan, at=20.0)
+    assert score["tp"] == 2 and score["fp"] == 0 and score["fn"] == 0
+    assert score["precision"] == 1.0 and score["recall"] == 1.0
+    assert [m["fault"] for m in score["matches"]] == \
+        ["node_crash", "link_degrade"]
+
+
+def test_matching_is_greedy_one_to_one():
+    # Two crashes cannot both claim the single dead_node finding.
+    plan = _plan(FaultSpec(kind="node_crash", at=10.0, nodes=(5, 6)),
+                 FaultSpec(kind="node_crash", at=10.0, nodes=(5, 6)))
+    score = score_findings([_dead(5)], plan, at=20.0)
+    assert score["tp"] == 1 and score["fn"] == 1 and score["fp"] == 0
+    assert score["recall"] == 0.5
+
+
+def test_unclaimed_findings_are_false_positives():
+    plan = _plan(FaultSpec(kind="node_crash", at=10.0, nodes=(6,)))
+    score = score_findings([_dead(6), _link("lossy_link", (1, 2))],
+                           plan, at=20.0)
+    assert score["fp"] == 1
+    assert score["precision"] == 0.5
+
+
+def test_empty_world_scores_perfect():
+    score = score_findings([], _plan(), at=20.0)
+    assert score["precision"] == 1.0 and score["recall"] == 1.0
+    assert score["n_findings"] == 0 and score["n_faults"] == 0

@@ -8,12 +8,8 @@ names the injured hop.
 """
 
 from repro.core.deploy import deploy_liteview
-from repro.core.diagnosis import (
-    LinkClass,
-    classify_link,
-    probe_path,
-    survey_links,
-)
+from repro.core.diagnosis import probe_path
+from repro.diag import DiagnosisEngine, ProbePlan
 from repro.errors import CommandTimeout
 from repro.faults import FaultPlan, FaultSpec, install_faults
 from repro.workloads import build_chain
@@ -74,14 +70,18 @@ def test_chaos_soak_commands_return_and_diagnosis_names_injured_hop():
         assert not broken_trace.reached_target
         assert all(h.probed_node_id <= INJURED[0] for h in broken_trace.hops)
 
-    # Phase 3 — the site-survey walk localises the injury.
-    reports = survey_links(dep, [(i, i + 1) for i in range(1, 8)],
-                           rounds=6, length=16)
-    labels = {(r.src, r.dst): classify_link(r) for r in reports}
-    assert labels[INJURED] == LinkClass.BROKEN
-    for pair, label in labels.items():
-        if pair != INJURED:
-            assert label != LinkClass.BROKEN, (pair, label)
+    # Phase 3 — the diagnosis engine's site-survey walk localises the
+    # injury by name (the same probe pipeline the legacy survey_links
+    # wrapper drives, plus the finding reduction on top).
+    report = DiagnosisEngine(dep).run(ProbePlan(
+        links=tuple((i, i + 1) for i in range(1, 8)),
+        rounds=6, length=16,
+    ))
+    assert {f.link for f in report.of_kind("broken_link")} == {INJURED}
+    assert not report.of_kind("dead_node")  # the reboot expired long ago
+    named = next(iter(report.of_kind("broken_link")))
+    assert named.evidence["received"] == 0
+    assert f"link {INJURED[0]}->{INJURED[1]}" in report.explain()
 
     # The whole soak ran bounded — nothing hung waiting forever.
     assert tb.env.now < 500.0
