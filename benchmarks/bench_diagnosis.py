@@ -43,7 +43,7 @@ def run_survey(dep):
 def test_broken_and_asymmetric_link_detection(benchmark, faulty_deployment,
                                               report):
     reports = benchmark.pedantic(run_survey, args=(faulty_deployment,),
-                                 rounds=1, iterations=1)
+                                 rounds=3, iterations=1)
     labels = {(r.src, r.dst): classify_link(r) for r in reports}
 
     # -- diagnosis assertions ------------------------------------------
@@ -100,7 +100,7 @@ def test_hotspot_detection_under_load(benchmark, report):
                              score_threshold=1.5,
                              baseline_rtt_ms=baseline)
 
-    hotspots = benchmark.pedantic(run, rounds=1, iterations=1)
+    hotspots = benchmark.pedantic(run, rounds=3, iterations=1)
     generator.stop()
 
     assert hotspots, "congested relays must be flagged"

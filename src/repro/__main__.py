@@ -1,6 +1,6 @@
-"""``python -m repro`` — the LiteView shell and the campaign runner.
+"""``python -m repro`` — the LiteView shell, campaign runner and server.
 
-Two subcommands:
+Three subcommands:
 
 ``python -m repro shell [--seed N] [--nodes field|chain:K]``
     Build a simulated testbed with LiteView deployed everywhere and drop
@@ -13,6 +13,12 @@ Two subcommands:
     result caching, per-run timeouts and retries.  Prints a per-cell
     aggregate table and the campaign digest (the digest is identical for
     any worker count — sharding never changes results).
+
+``python -m repro serve [SCENARIO] [--port P] [options]``
+    Host a persistent simulated fleet over HTTP: Prometheus metrics on
+    ``/metrics``, traffic-light health on ``/health``, live telemetry on
+    ``/events`` (SSE), and fault injection via
+    ``POST /fleets/<name>/faults``.  See ``docs/SERVING.md``.
 """
 
 from __future__ import annotations
@@ -141,6 +147,27 @@ def run_campaign_cli(args: argparse.Namespace) -> int:
     return 1 if out.failures else 0
 
 
+def run_serve_cli(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeApp, build_fleet
+
+    fleet = build_fleet(
+        args.scenario, seed=args.seed, assess_every=args.assess_every,
+        fault_plan=args.faults,
+    )
+    app = ServeApp([fleet], tick_s=args.tick, step_s=args.step)
+    print(f"serving fleet {fleet.name!r} ({len(fleet.testbed)} nodes, "
+          f"seed {args.seed}) on http://{args.host}:{args.port} — "
+          "endpoints: /metrics /health /events "
+          f"POST /fleets/{fleet.name}/faults", file=sys.stderr)
+    try:
+        asyncio.run(app.serve_forever(host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -175,6 +202,23 @@ def _parser() -> argparse.ArgumentParser:
                       help="attempts per failing run (default 1)")
     camp.add_argument("--list", action="store_true",
                       help="list built-in scenarios and exit")
+
+    serve = sub.add_parser("serve", help="serve a live fleet over HTTP")
+    serve.add_argument("scenario", nargs="?", default="field",
+                       help="'field' (30 nodes), 'hundred' (100) or "
+                            "'chain:K' (default: field)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8700)
+    serve.add_argument("--seed", type=int, default=3)
+    serve.add_argument("--assess-every", type=float, default=30.0,
+                       help="simulated seconds between health "
+                            "assessments (default 30)")
+    serve.add_argument("--tick", type=float, default=0.25,
+                       help="wall-clock seconds between sim ticks")
+    serve.add_argument("--step", type=float, default=1.0,
+                       help="simulated seconds advanced per tick")
+    serve.add_argument("--faults", metavar="JSON", default=None,
+                       help="canonical FaultPlan JSON to pre-inject")
     return parser
 
 
@@ -187,6 +231,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "campaign":
         return run_campaign_cli(args)
+    if args.command == "serve":
+        return run_serve_cli(args)
     return run_shell(args)
 
 

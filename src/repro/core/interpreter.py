@@ -162,7 +162,8 @@ class CommandInterpreter:
                 "neighborsetup\n"
                 "diagnosis: diagnose <node> (trace the path, survey its "
                 "hops, name what's wrong)\n"
-                "observability: stats (metrics snapshot) | "
+                "observability: stats [prefix] (metrics snapshot, "
+                "e.g. stats mac.) | "
                 "trace on|off|last|<origin:port:seq> (packet lifecycle) | "
                 "profile on|off|report (event-loop hotspots)"
                 + ("\nneighborhood mode: list blacklist update exit"
@@ -384,9 +385,13 @@ class CommandInterpreter:
         """Snapshot of the metrics registry (counters, gauges, histograms).
 
         Workstation-local: reads the simulation's shared monitor, no
-        radio traffic involved.
+        radio traffic involved.  An optional name prefix narrows the
+        table to one subsystem: ``stats mac.``.
         """
-        return self.testbed.monitor.registry.render()
+        if len(args) > 1:
+            raise ParameterError("usage: stats [name-prefix]")
+        prefix = args[0] if args else ""
+        return self.testbed.monitor.registry.render(prefix)
 
     def _cmd_trace(self, args: list[str]) -> str:
         """Packet-lifecycle tracing: toggle it, or explain one packet."""

@@ -11,7 +11,9 @@ The subsystem the paper is about, promoted out of ad-hoc helpers:
 * :mod:`repro.diag.engine` — ``DiagnosisEngine`` running declarative
   ``ProbePlan``s and reducing observations to named verdicts;
 * :mod:`repro.diag.score` — precision/recall of findings against
-  injected ground truth (:mod:`repro.faults`).
+  injected ground truth (:mod:`repro.faults`);
+* :mod:`repro.diag.render` — operator-facing traffic lights and
+  plain-language recommendations (the ``repro.serve`` health view).
 
 The legacy entry points (``survey_link``, ``classify_link``,
 ``find_hotspots``, ``probe_path``) live on in
@@ -38,6 +40,16 @@ from repro.diag.probe import (
     ProbeExecutor,
     ProbeOutcome,
     ProbeRequest,
+)
+from repro.diag.render import (
+    GREEN,
+    LIGHT_ORDER,
+    RED,
+    YELLOW,
+    health_view,
+    recommendation,
+    traffic_light,
+    worst_light,
 )
 from repro.diag.score import active_specs, score_findings, spec_matches_finding
 
@@ -66,4 +78,12 @@ __all__ = [
     "score_findings",
     "spec_matches_finding",
     "active_specs",
+    "GREEN",
+    "YELLOW",
+    "RED",
+    "LIGHT_ORDER",
+    "traffic_light",
+    "recommendation",
+    "worst_light",
+    "health_view",
 ]

@@ -10,7 +10,8 @@ itself:
   behind the :class:`~repro.sim.monitor.Monitor` facade.
 * :mod:`repro.obs.profiler` — opt-in wall-clock hotspot accounting for
   the event loop.
-* :mod:`repro.obs.export` — JSONL and Chrome ``trace_event`` export.
+* :mod:`repro.obs.export` — JSONL, Chrome ``trace_event`` and
+  Prometheus text-format export.
 
 Import discipline: these modules import nothing from ``repro.sim`` at
 runtime (type hints only), because the sim engine itself instantiates a
@@ -20,9 +21,12 @@ substrate, not above it.
 
 from repro.obs.export import (
     metrics_to_json,
+    metrics_to_prometheus,
+    prometheus_line,
     trace_to_chrome,
     trace_to_jsonl,
     write_chrome_trace,
+    write_prometheus,
     write_trace_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -44,4 +48,7 @@ __all__ = [
     "trace_to_chrome",
     "write_chrome_trace",
     "metrics_to_json",
+    "metrics_to_prometheus",
+    "prometheus_line",
+    "write_prometheus",
 ]

@@ -212,9 +212,19 @@ class MetricsRegistry:
             },
         }
 
-    def render(self) -> str:
-        """ASCII table of everything, for the ``stats`` shell command."""
+    def render(self, prefix: str = "") -> str:
+        """ASCII table of everything, for the ``stats`` shell command.
+
+        ``prefix`` keeps only metrics whose name starts with it — the
+        shell's ``stats mac.`` narrows a busy registry to one subsystem.
+        """
         snap = self.snapshot()
+        if prefix:
+            snap = {
+                group: {name: value for name, value in metrics.items()
+                        if name.startswith(prefix)}
+                for group, metrics in snap.items()
+            }
         lines: list[str] = []
         if snap["counters"]:
             lines.append("counters:")
@@ -237,7 +247,11 @@ class MetricsRegistry:
                     cells.append("        -" if value is None
                                  else f"{value:>9.3f}")
                 lines.append(f"  {name:<24}" + " ".join(cells))
-        return "\n".join(lines) if lines else "no metrics recorded"
+        if lines:
+            return "\n".join(lines)
+        if prefix:
+            return f"no metrics match prefix {prefix!r}"
+        return "no metrics recorded"
 
     def reset(self) -> None:
         self._metrics.clear()

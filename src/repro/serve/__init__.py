@@ -1,0 +1,31 @@
+"""repro.serve — live fleet serving over stdlib asyncio.
+
+Hosts persistent simulated testbeds behind a small hand-rolled
+HTTP/1.1 server: Prometheus metrics (``/metrics``), traffic-light
+health (``/health``), a Server-Sent Events telemetry stream
+(``/events``), and live fault injection
+(``POST /fleets/<name>/faults``) — with a hard determinism guarantee:
+serving any number of clients leaves the simulation byte-identical to
+an unserved run of the same configuration.
+
+See ``docs/SERVING.md`` for endpoint and event schemas.
+"""
+
+from repro.serve.app import ServeApp
+from repro.serve.fleet import FleetSupervisor, build_fleet
+from repro.serve.health import HealthAssessor, nearest_neighbor_links
+from repro.serve.http import HttpError, Request
+from repro.serve.hub import EventHub, Subscription, format_sse
+
+__all__ = [
+    "ServeApp",
+    "FleetSupervisor",
+    "build_fleet",
+    "HealthAssessor",
+    "nearest_neighbor_links",
+    "EventHub",
+    "Subscription",
+    "format_sse",
+    "HttpError",
+    "Request",
+]

@@ -1,0 +1,258 @@
+"""The fleet supervisor: one persistent simulated testbed, served live.
+
+A :class:`FleetSupervisor` owns a deployed testbed and advances it on
+its own cadence — :meth:`advance` is the **only** mutation path, and it
+is a plain synchronous call the server invokes between request handlers
+on the asyncio loop.  Everything a client can read (``/metrics``,
+``/health``, SSE events) is produced *at the end of an advance*, at an
+event-loop-safe point, from snapshot data: the rendered health JSON is
+cached as a string, trace events are batched out through the
+:class:`~repro.serve.hub.EventHub` and then cleared, and the metrics
+registry is only ever read between advances.
+
+Determinism contract (asserted by ``tests/serve``): the injured or
+healthy world a supervisor produces depends **only** on the scenario,
+seed, and the total simulated time advanced — never on how many clients
+were being served, how the advance was sliced into ticks, or wall-clock
+anything.  Assessments fire at fixed *simulated* times
+(``assess_every``), so a served run and an unserved run of the same
+config produce byte-identical packet digests.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.deploy import deploy_liteview
+from repro.diag.render import recommendation, traffic_light
+from repro.faults import FaultPlan, install_faults
+from repro.serve.health import HealthAssessor
+from repro.serve.hub import EventHub
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.testbed import Testbed
+
+__all__ = ["FleetSupervisor", "build_fleet"]
+
+#: Trace events are published in batches of at most this many per SSE
+#: event, so one busy tick cannot blow a subscriber's queue bound with
+#: a thousand tiny events (nor one giant megabyte payload).
+TRACE_BATCH = 200
+
+
+class FleetSupervisor:
+    """One live fleet: deployment + cadence + health + event publishing."""
+
+    def __init__(self, name: str, deployment, *,
+                 assess_every: float = 30.0,
+                 assessor: HealthAssessor | None = None,
+                 hub: EventHub | None = None,
+                 publish_trace: bool = True):
+        self.name = name
+        self.deployment = deployment
+        self.testbed: "Testbed" = deployment.testbed
+        self.env = self.testbed.env
+        self.monitor = self.testbed.monitor
+        self.hub = hub if hub is not None else EventHub()
+        self.assessor = assessor or HealthAssessor(deployment)
+        self.assess_every = float(assess_every)
+        self._next_assess = self.env.now + self.assess_every
+        #: The cumulative advance horizon.  Assessments overshoot sim
+        #: time (probe traffic runs to completion), so targets must be
+        #: computed against this virtual clock, not ``env.now`` —
+        #: otherwise slicing one advance into many would change the
+        #: world (see :meth:`advance`).
+        self._horizon = self.env.now
+        self._pending_plans: list[FaultPlan] = []
+        self._seen_findings: set[str] = set()
+        self.injected_plans: list[FaultPlan] = []
+        self.ticks = 0
+        #: Rendered at assessment time; ``/health`` serves this string
+        #: without touching the sim.
+        self.health_payload: dict = self.assessor.health(fleet=self.name)
+        if publish_trace:
+            self.testbed.tracer.enable()
+
+    # -- client-facing snapshots --------------------------------------------
+
+    @property
+    def sim_time(self) -> float:
+        return self.env.now
+
+    def describe(self) -> dict:
+        """The fleet card for the index endpoint."""
+        return {
+            "name": self.name,
+            "nodes": len(self.testbed),
+            "sim_time": round(self.env.now, 6),
+            "ticks": self.ticks,
+            "assess_every": self.assess_every,
+            "assessments": self.assessor.assessments,
+            "status": str(self.health_payload.get("status", "pending")),
+            "injected_plans": len(self.injected_plans),
+        }
+
+    # -- external inputs -----------------------------------------------------
+
+    def queue_fault_plan(self, plan: "FaultPlan | str | _t.Mapping",
+                         ) -> FaultPlan:
+        """Accept a fault plan for installation at the next safe point.
+
+        Plans are *queued*, not installed inline: installation compiles
+        simulator events, which must happen between advances, never
+        while a request handler is running mid-heap.  Returns the
+        decoded plan (raising on malformed input so the HTTP layer can
+        reply 400 before anything is queued).
+        """
+        decoded = FaultPlan.from_param(plan)
+        self._pending_plans.append(decoded)
+        return decoded
+
+    # -- the cadence ---------------------------------------------------------
+
+    def advance(self, sim_seconds: float) -> None:
+        """Advance the fleet ``sim_seconds`` of simulated time.
+
+        Installs queued fault plans first (the safe point), runs the
+        sim, fires any due health assessments at their fixed simulated
+        times, then publishes the tick's events.  Slicing a total of T
+        seconds into any number of ``advance`` calls yields the same
+        world as one call — partitioning is not an input to the sim.
+
+        That invariant is why the target is ``_horizon + sim_seconds``
+        rather than ``env.now + sim_seconds``: an assessment's probe
+        traffic runs to completion and may leave ``env.now`` past the
+        tick's target, and anchoring the next target to the overshot
+        clock would make the world depend on where the tick boundaries
+        fell.
+        """
+        self._install_pending()
+        self._horizon += float(sim_seconds)
+        target = self._horizon
+        while self._next_assess <= target:
+            if self.env.now < self._next_assess:
+                self.testbed.run(until=self._next_assess)
+            self._assess()
+            self._next_assess += self.assess_every
+        if self.env.now < target:
+            self.testbed.run(until=target)
+        self.ticks += 1
+        self._publish_trace()
+
+    def _install_pending(self) -> None:
+        plans, self._pending_plans = self._pending_plans, []
+        for plan in plans:
+            injector = install_faults(self.testbed, plan)
+            self.injected_plans.append(plan)
+            self.hub.publish({
+                "type": "fault",
+                "fleet": self.name,
+                "sim_time": round(self.env.now, 6),
+                "plan": plan.to_dict(),
+                "active": injector is not None,
+            })
+
+    def _assess(self) -> None:
+        report = self.assessor.assess()
+        self.health_payload = self.assessor.health(fleet=self.name)
+        for finding in report.findings:
+            key = finding.to_json()
+            if key in self._seen_findings:
+                continue
+            self._seen_findings.add(key)
+            self.hub.publish({
+                "type": "finding",
+                "fleet": self.name,
+                "sim_time": round(self.env.now, 6),
+                "finding": finding.to_dict(),
+                "status": traffic_light(finding),
+                "recommendation": recommendation(finding),
+            })
+        self.hub.publish({
+            "type": "health",
+            "fleet": self.name,
+            "sim_time": round(self.env.now, 6),
+            "status": self.health_payload["status"],
+            "findings": len(report.findings),
+            "assessments": self.assessor.assessments,
+        })
+
+    def _publish_trace(self) -> None:
+        """Batch out and clear the tick's trace events.
+
+        Publishing reads (then clears) the tracer — it never touches
+        the event heap or any RNG stream, so enabling/serving the
+        stream cannot perturb the sim.  Clearing keeps a long-lived
+        fleet's memory bounded by one tick's traffic.
+        """
+        tracer = self.testbed.tracer
+        if not tracer.enabled or not tracer.events:
+            return
+        events = tracer.events
+        for start in range(0, len(events), TRACE_BATCH):
+            batch = events[start:start + TRACE_BATCH]
+            self.hub.publish({
+                "type": "trace",
+                "fleet": self.name,
+                "sim_time": round(self.env.now, 6),
+                "events": [
+                    {
+                        "time": round(event.time, 6),
+                        "kind": event.kind,
+                        "node": event.node,
+                        "packet": event.packet,
+                        "detail": dict(event.detail),
+                    }
+                    for event in batch
+                ],
+            })
+        tracer.clear()
+
+
+def build_fleet(spec: str = "field", *, seed: int = 3,
+                name: str | None = None,
+                assess_every: float = 30.0,
+                warm_up: float = 15.0,
+                rounds: int = 3,
+                links: _t.Iterable[tuple[int, int]] | None = None,
+                hub: EventHub | None = None,
+                publish_trace: bool = True,
+                fault_plan: "FaultPlan | str | None" = None,
+                ) -> FleetSupervisor:
+    """One-call fleet construction from a topology spec.
+
+    ``spec`` is the shell's vocabulary plus the large scenario:
+    ``field`` (the paper's 30-node testbed), ``hundred`` (the 10x10
+    grid), or ``chain:K``.  The testbed is deployed with LiteView
+    everywhere and warmed up so neighbor/routing state has settled
+    before the first client ever polls.  ``fault_plan`` pre-injures the
+    world at construction (the chaos-demo path); live injuries arrive
+    later via ``POST /fleets/<name>/faults``.
+    """
+    from repro.workloads import build_chain
+    from repro.workloads.scenarios import (
+        QUIET_PROPAGATION,
+        hundred_node_field,
+        thirty_node_field,
+    )
+
+    if spec == "field":
+        testbed = thirty_node_field(seed=seed)
+    elif spec == "hundred":
+        testbed = hundred_node_field(seed=seed)
+    elif spec.startswith("chain:"):
+        testbed = build_chain(int(spec.split(":", 1)[1]), seed=seed,
+                              propagation_kwargs=QUIET_PROPAGATION)
+    else:
+        raise ValueError(f"unknown fleet spec {spec!r} "
+                         "(use 'field', 'hundred' or 'chain:K')")
+    deployment = deploy_liteview(testbed, warm_up=warm_up)
+    assessor = HealthAssessor(deployment, links=links, rounds=rounds)
+    supervisor = FleetSupervisor(
+        name=name or spec.replace(":", ""), deployment=deployment,
+        assess_every=assess_every, assessor=assessor, hub=hub,
+        publish_trace=publish_trace,
+    )
+    if fault_plan is not None:
+        supervisor.queue_fault_plan(fault_plan)
+    return supervisor

@@ -1,0 +1,135 @@
+"""Continuous health assessment: the DiagnosisEngine on a schedule.
+
+Batch diagnosis (``repro.diag``) answers one question once; a live
+fleet wants the question re-asked forever.  :class:`HealthAssessor`
+owns a fixed :class:`~repro.diag.engine.ProbePlan` — the *watchlist* —
+and re-runs it through a :class:`~repro.diag.engine.DiagnosisEngine`
+each time the fleet supervisor reaches an assessment boundary, then
+renders the latest report as the traffic-light
+:func:`~repro.diag.render.health_view` payload ``/health`` serves.
+
+The watchlist defaults to the fleet's nearest-neighbor link graph
+(:func:`nearest_neighbor_links`): every node appears in at least one
+probed link, the link count stays O(N), and an injected fault on any
+such link turns its light within one assessment period.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.diag.engine import DiagnosisEngine, ProbePlan, Thresholds
+from repro.diag.render import health_view
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.diag.findings import DiagnosisReport
+    from repro.kernel.testbed import Testbed
+
+__all__ = ["HealthAssessor", "nearest_neighbor_links"]
+
+
+def nearest_neighbor_links(testbed: "Testbed", *,
+                           exclude: _t.Collection[int] = (),
+                           ) -> tuple[tuple[int, int], ...]:
+    """Each node's link to its nearest other node, deduplicated.
+
+    The cheapest watchlist that still covers the whole fleet: O(N)
+    directed pairs (lower id first), deterministic for a fixed
+    topology, and every node is an endpoint of at least one probed
+    link — so a dead node or a broken adjacent link is always visible
+    to the assessor.  ``exclude`` drops management devices (the
+    workstation) that sit in the testbed but are not fleet members.
+    """
+    nodes = [n for n in testbed.nodes() if n.id not in set(exclude)]
+    links: set[tuple[int, int]] = set()
+    for node in nodes:
+        nearest = None
+        best = float("inf")
+        for other in nodes:
+            if other.id == node.id:
+                continue
+            dx = node.position[0] - other.position[0]
+            dy = node.position[1] - other.position[1]
+            dist = dx * dx + dy * dy
+            if dist < best or (dist == best and
+                               (nearest is None or other.id < nearest)):
+                best, nearest = dist, other.id
+        if nearest is not None:
+            links.add((min(node.id, nearest), max(node.id, nearest)))
+    return tuple(sorted(links))
+
+
+class HealthAssessor:
+    """Runs one probe plan repeatedly and keeps the latest verdict.
+
+    ``links``/``scans``/``rounds`` define the recurring plan;
+    :meth:`assess` executes it (advancing the simulation by the probe
+    traffic's own duration — assessment is *part of* the simulated
+    world, which is what keeps served runs reproducible), and
+    :meth:`health` renders the most recent report without touching the
+    sim at all.
+    """
+
+    def __init__(self, deployment, *,
+                 links: _t.Iterable[tuple[int, int]] | None = None,
+                 scans: _t.Iterable[int] = (),
+                 rounds: int = 3,
+                 thresholds: Thresholds | None = None):
+        self.deployment = deployment
+        self.testbed = deployment.testbed
+        # The workstation is a management device riding in the testbed,
+        # not a fleet member: it never routes or answers probes, so it
+        # must stay off the watchlist.
+        workstation = getattr(deployment, "workstation", None)
+        self._excluded = (
+            {workstation.node.id} if workstation is not None else set())
+        if links is None:
+            links = nearest_neighbor_links(self.testbed,
+                                           exclude=self._excluded)
+        self.plan = ProbePlan(links=tuple(links), scans=tuple(scans),
+                              rounds=rounds)
+        self.engine = DiagnosisEngine(deployment, thresholds=thresholds)
+        self.last_report: "DiagnosisReport | None" = None
+        self.last_assessed_at: float | None = None
+        self.assessments = 0
+
+    @property
+    def watched_links(self) -> tuple[tuple[int, int], ...]:
+        return self.plan.links
+
+    @property
+    def watched_nodes(self) -> tuple[int, ...]:
+        return tuple(node.id for node in self.testbed.nodes()
+                     if node.id not in self._excluded)
+
+    def assess(self) -> "DiagnosisReport":
+        """Run the watchlist plan now; returns (and stores) the report."""
+        report = self.engine.run(self.plan)
+        self.last_report = report
+        self.last_assessed_at = self.testbed.env.now
+        self.assessments += 1
+        return report
+
+    def health(self, **extra: object) -> dict:
+        """The traffic-light payload for the *latest* report.
+
+        Before the first assessment this is an explicit ``pending``
+        status (all subjects unknown), never a fabricated green.
+        """
+        if self.last_report is None:
+            return {
+                "status": "pending",
+                "assessments": 0,
+                "sim_time": round(self.testbed.env.now, 6),
+                **extra,
+            }
+        view = health_view(
+            self.last_report,
+            nodes=self.watched_nodes,
+            links=self.watched_links,
+            sim_time=self.testbed.env.now,
+            assessed_at=self.last_assessed_at,
+        )
+        view["assessments"] = self.assessments
+        view.update(extra)
+        return view

@@ -173,7 +173,8 @@ class Monitor:
 
     # -- snapshots -------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self, *, include_series: bool = True,
+                 include_packets: bool = True) -> dict:
         """Plain-data dump of everything collected — picklable and
         JSON-ready, for cross-process return from campaign workers.
 
@@ -181,14 +182,21 @@ class Monitor:
         :meth:`MetricsRegistry.snapshot`; the packet log is summarised
         as its count and order-sensitive digest rather than shipped
         record by record.
+
+        The flags exist for frequent pollers (the live fleet server):
+        ``include_series=False`` skips copying every time series and
+        ``include_packets=False`` skips the O(packets) digest hash, so
+        a registry-only snapshot stays cheap on a long-lived sim.
         """
         snap = self.registry.snapshot()
-        snap["series"] = {
-            name: [[s.time, s.value] for s in samples]
-            for name, samples in sorted(self._series.items()) if samples
-        }
+        if include_series:
+            snap["series"] = {
+                name: [[s.time, s.value] for s in samples]
+                for name, samples in sorted(self._series.items()) if samples
+            }
         snap["n_packets"] = len(self.packets)
-        snap["packet_sha256"] = self.packet_digest()
+        if include_packets:
+            snap["packet_sha256"] = self.packet_digest()
         return snap
 
     def reset(self) -> None:

@@ -62,6 +62,15 @@ def test_site_survey(capsys):
     assert "healthy links:" in out
 
 
+def test_live_fleet(capsys):
+    out = run_main("live_fleet", capsys)
+    assert "baseline health:" in out
+    assert "POST /faults -> 202" in out
+    assert "health after fault: red" in out
+    assert "[broken_link]" in out
+    assert "recommendation: Restore the path between nodes" in out
+
+
 def test_interactive_shell_canned_session(capsys, monkeypatch):
     monkeypatch.setattr(sys, "stdin", io.StringIO(""))  # not a tty
     out = run_main("interactive_shell", capsys)

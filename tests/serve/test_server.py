@@ -1,0 +1,262 @@
+"""End-to-end tests of the fleet server's HTTP surface.
+
+Each test runs a real ``ServeApp`` on an ephemeral port inside its own
+event loop (``auto_tick=False``: the test drives the sim by hand, so
+assertions never race a background ticker).
+"""
+
+import asyncio
+import json
+
+from repro.serve import ServeApp, build_fleet
+
+from tests.serve.conftest import fetch, fetch_json, parse_prometheus
+
+LINK_DEGRADE = {
+    "enabled": True,
+    "specs": [{"kind": "link_degrade", "link": [2, 3],
+               "loss_db": 80.0, "at": 0.0}],
+}
+
+
+def make_app(spec="chain:5", **kw):
+    kw.setdefault("seed", 7)
+    kw.setdefault("assess_every", 20.0)
+    kw.setdefault("warm_up", 10.0)
+    fleet = build_fleet(spec, **kw)
+    return ServeApp([fleet]), fleet
+
+
+def test_index_lists_fleets_and_endpoints():
+    async def main():
+        app, fleet = make_app()
+        await app.start(auto_tick=False)
+        try:
+            status, payload = await fetch_json(app.port, "/")
+            assert status == 200
+            assert payload["service"] == "repro.serve"
+            (card,) = payload["fleets"]
+            assert card["name"] == fleet.name
+            assert card["nodes"] == len(fleet.testbed)
+            assert "GET /events" in payload["endpoints"]
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
+
+
+def test_metrics_exposition_parses_and_carries_fleet_label():
+    async def main():
+        app, fleet = make_app()
+        await app.start(auto_tick=False)
+        try:
+            fleet.advance(25.0)  # past one assessment
+            status, headers, body = await fetch(app.port, "/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            samples = parse_prometheus(body.decode())
+            assert samples  # non-empty after traffic
+            # Sim metrics carry the fleet label, sanitized names.
+            assert any(k.startswith("mac_sent_frames{")
+                       and 'fleet="chain5"' in k for k in samples)
+            # Serve-layer samples are present.
+            assert samples["serve_sse_clients"] == 0
+            assert samples['serve_fleet_ticks_total{fleet="chain5"}'] == 1
+            assert samples['serve_assessments_total{fleet="chain5"}'] == 1
+            # Health gauges: all green = 0 on the healthy chain.
+            assert samples['serve_health_status{fleet="chain5"}'] == 0
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
+
+
+def test_health_pending_before_first_assessment_then_green():
+    async def main():
+        app, fleet = make_app()
+        await app.start(auto_tick=False)
+        try:
+            status, payload = await fetch_json(
+                app.port, f"/fleets/{fleet.name}/health")
+            assert status == 200
+            assert payload["status"] == "pending"
+            fleet.advance(25.0)
+            status, payload = await fetch_json(
+                app.port, f"/fleets/{fleet.name}/health")
+            assert payload["status"] == "green"
+            assert payload["healthy"] is True
+            assert payload["assessments"] == 1
+            # Every watched node and link is painted.
+            assert set(payload["nodes"]) == {"1", "2", "3", "4", "5"}
+            assert all(e["status"] == "green"
+                       for e in payload["links"].values())
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
+
+
+def test_fault_injection_turns_link_red_with_recommendation():
+    """The acceptance path: POST a link_degrade, and within one
+    assessment period /health shows the link red and says what to do."""
+
+    async def main():
+        app, fleet = make_app()
+        await app.start(auto_tick=False)
+        try:
+            fleet.advance(25.0)  # establish a green baseline
+            status, reply = await fetch_json(
+                app.port, f"/fleets/{fleet.name}/faults", "POST",
+                LINK_DEGRADE)
+            assert status == 202
+            assert reply["queued"] is True
+            assert reply["plan"]["specs"][0]["kind"] == "link_degrade"
+            fleet.advance(20.0)  # exactly one assessment period
+            status, payload = await fetch_json(
+                app.port, f"/fleets/{fleet.name}/health")
+            assert payload["status"] == "red"
+            link = payload["links"]["2->3"]
+            assert link["status"] == "red"
+            assert link["kind"] == "broken_link"
+            assert "nodes 2 and 3" in link["recommendation"]
+            assert payload["recommendations"]  # plain-language advice
+            # The injected plan is visible for audit.
+            status, audit = await fetch_json(
+                app.port, f"/fleets/{fleet.name}/faults")
+            assert len(audit["plans"]) == 1
+            # And the metrics gauge went red (= 2) for that link.
+            _, _, body = await fetch(app.port, "/metrics")
+            samples = parse_prometheus(body.decode())
+            key = ('serve_health_link_status{fleet="chain5",link="2->3"}')
+            assert samples[key] == 2
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
+
+
+def test_malformed_fault_plan_rejected_with_400():
+    async def main():
+        app, fleet = make_app()
+        await app.start(auto_tick=False)
+        try:
+            for bad in (
+                {"enabled": True, "specs": [{"kind": "nope"}]},
+                {"enabled": True,
+                 "specs": [{"kind": "link_degrade"}]},  # missing link
+            ):
+                status, reply = await fetch_json(
+                    app.port, f"/fleets/{fleet.name}/faults", "POST", bad)
+                assert status == 400
+                assert "invalid fault plan" in reply["error"]
+            # Not JSON at all.
+            status, _, raw = await fetch(
+                app.port, f"/fleets/{fleet.name}/faults", "POST",
+                b"not json")
+            assert status == 400
+            # Nothing was queued by any of the rejects.
+            status, audit = await fetch_json(
+                app.port, f"/fleets/{fleet.name}/faults")
+            assert audit["plans"] == []
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
+
+
+def test_unknown_routes_and_fleets_get_404():
+    async def main():
+        app, _ = make_app()
+        await app.start(auto_tick=False)
+        try:
+            status, _ = await fetch_json(app.port, "/nope")
+            assert status == 404
+            status, reply = await fetch_json(app.port,
+                                             "/fleets/ghost/health")
+            assert status == 404
+            assert "ghost" in reply["error"]
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
+
+
+def test_malformed_request_line_gets_400():
+    async def main():
+        app, _ = make_app()
+        await app.start(auto_tick=False)
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", app.port)
+            writer.write(b"GARBAGE\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=10)
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+            writer.close()
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
+
+
+def test_stats_endpoint_serves_registry_snapshot():
+    async def main():
+        app, fleet = make_app()
+        await app.start(auto_tick=False)
+        try:
+            fleet.advance(5.0)
+            status, payload = await fetch_json(
+                app.port, f"/fleets/{fleet.name}/stats")
+            assert status == 200
+            assert payload["fleet"] == fleet.name
+            assert payload["counters"]  # beacon traffic counted
+            assert "series" not in payload  # the cheap snapshot
+            assert "packet_sha256" not in payload
+            assert payload["n_packets"] > 0
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
+
+
+def test_sse_stream_delivers_trace_health_and_finding_events():
+    async def main():
+        app, fleet = make_app()
+        await app.start(auto_tick=False)
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", app.port)
+            writer.write(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b"200 OK" in head and b"text/event-stream" in head
+            await asyncio.sleep(0.05)
+            assert len(app.hub) == 1
+
+            # Break a link before the first assessment: the stream must
+            # carry the finding the assessor discovers.
+            fleet.queue_fault_plan(LINK_DEGRADE)
+            for _ in range(5):
+                fleet.advance(5.0)
+                await asyncio.sleep(0)
+
+            kinds, findings = set(), []
+            with_deadline = asyncio.wait_for
+            while {"trace", "health", "finding"} - kinds:
+                frame = await with_deadline(
+                    reader.readuntil(b"\n\n"), timeout=10)
+                text = frame.decode()
+                kind = text.split("\n", 1)[0].removeprefix("event: ")
+                kinds.add(kind)
+                if kind == "finding":
+                    data = text.split("data: ", 1)[1]
+                    findings.append(json.loads(data))
+            (finding,) = findings[:1]
+            assert finding["status"] in ("red", "yellow")
+            assert finding["recommendation"]
+            assert finding["finding"]["kind"]
+            writer.close()
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
