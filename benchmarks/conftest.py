@@ -24,6 +24,12 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_simulator.json"
 HISTORY_JSONL = RESULTS_DIR / "bench_history.jsonl"
 
+#: Derived scalar metrics benches record alongside the raw timings
+#: (e.g. ``parallel_speedup_vs_serial``) — merged into BENCH_simulator
+#: only when a measuring session actually collected stats, so smoke
+#: runs never clobber real numbers.
+EXTRA_METRICS: dict = {}
+
 
 def _git_commit() -> str:
     try:
@@ -47,6 +53,21 @@ def report():
         print(f"\n{text}\n[written to {path}]")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def record_metric():
+    """Record a derived metric into ``BENCH_simulator.json``.
+
+    ``record_metric("parallel_speedup_vs_serial", value, workers=4)``
+    lands as ``{"value": ..., "workers": 4}`` under that name, next to
+    the per-bench timing stats, once the measuring session finishes.
+    """
+
+    def record(name: str, value, **extra) -> None:
+        EXTRA_METRICS[name] = {"value": value, **extra}
+
+    return record
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -74,6 +95,7 @@ def pytest_sessionfinish(session, exitstatus):
         }
     if not results:
         return
+    results.update(EXTRA_METRICS)
     merged = {}
     if BENCH_JSON.exists():
         try:

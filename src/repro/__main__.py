@@ -92,6 +92,17 @@ def _parse_grid(text: str) -> tuple[str, list[object]]:
     return name, [_parse_value(v) for v in values.split(",")]
 
 
+def _parse_shard(text: str) -> tuple[int, int]:
+    index, sep, of = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        return int(index), int(of)
+    except ValueError:
+        raise SystemExit(
+            f"bad --shard {text!r} (expected K/N with 0 <= K < N)") from None
+
+
 def run_campaign_cli(args: argparse.Namespace) -> int:
     from repro.analysis import aggregate_cells, render_table
     from repro.campaign import (Campaign, default_workers, run_campaign,
@@ -108,11 +119,21 @@ def run_campaign_cli(args: argparse.Namespace) -> int:
         base_params=dict(args.param or ()), grid=dict(args.grid or ()),
         repeats=args.repeats,
     )
+    target = campaign
+    if args.shard is not None:
+        index, of = args.shard
+        try:
+            target = campaign.shard(index, of)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     workers = args.workers if args.workers else default_workers()
-    total = len(campaign)
+    total = len(target)
+    shard_note = ("" if args.shard is None
+                  else f", shard {target.index}/{target.of}")
     print(f"campaign {campaign.name!r}: {total} runs "
-          f"({args.scenario}, seed {campaign.seed}) on {workers} "
-          f"worker{'s' if workers != 1 else ''}", file=sys.stderr)
+          f"({args.scenario}, seed {campaign.seed}{shard_note}) on "
+          f"{workers} worker{'s' if workers != 1 else ''}",
+          file=sys.stderr)
 
     def progress(done, total, result):
         source = "cache" if result.cached else f"{result.wall_s:.2f}s"
@@ -121,7 +142,7 @@ def run_campaign_cli(args: argparse.Namespace) -> int:
               f"({source})", file=sys.stderr)
 
     out = run_campaign(
-        campaign, workers=workers, cache=args.cache,
+        target, workers=workers, cache=args.cache,
         timeout_s=args.timeout, retries=args.retries, progress=progress,
     )
 
@@ -187,7 +208,12 @@ def _parser() -> argparse.ArgumentParser:
     camp.add_argument("--seed", type=int, default=0)
     camp.add_argument("--repeats", type=int, default=1)
     camp.add_argument("--workers", type=int, default=0,
-                      help="worker processes (default: all cores)")
+                      help="warm-pool worker processes (default: all "
+                           "cores, or the REPRO_WORKERS env var)")
+    camp.add_argument("--shard", type=_parse_shard, metavar="K/N",
+                      default=None,
+                      help="run only shard K of N (0-based); digests of "
+                           "merged shards match the serial run")
     camp.add_argument("--param", action="append", type=_parse_param,
                       metavar="NAME=VALUE",
                       help="fixed scenario parameter (repeatable)")

@@ -7,9 +7,14 @@ first-class object:
 * :class:`~repro.campaign.spec.Campaign` / :class:`~repro.campaign.
   spec.RunSpec` — declarative grid × repeats expansion with per-run
   seeds derived by SHA-256 (order- and worker-count-independent);
-* :func:`~repro.campaign.runner.run_campaign` — serial or
-  ``multiprocessing`` execution with per-run timeouts, bounded retries
-  and partial-result reporting;
+* :func:`~repro.campaign.runner.run_campaign` — serial or warm-pool
+  execution (:mod:`~repro.campaign.pool`: persistent pre-imported
+  workers, chunked dispatch with work stealing) with per-run timeouts,
+  bounded retries and partial-result reporting;
+* :meth:`Campaign.shard(k, of) <repro.campaign.spec.Campaign.shard>` /
+  :func:`~repro.campaign.results.merge_shards` — split a campaign
+  deterministically across machines and reassemble a result
+  byte-identical to the serial run;
 * :class:`~repro.campaign.cache.ResultCache` — on-disk results keyed by
   (code fingerprint, scenario, params, seed), so re-runs only execute
   changed or missing cells;
@@ -22,26 +27,36 @@ to the serial one (see ``tests/integration/test_golden_determinism.py``).
 """
 
 from repro.campaign.cache import ResultCache, code_fingerprint
-from repro.campaign.results import CampaignResult, RunResult
+from repro.campaign.pool import (
+    WarmPool,
+    get_warm_pool,
+    shutdown_warm_pools,
+)
+from repro.campaign.results import CampaignResult, RunResult, merge_shards
 from repro.campaign.runner import default_workers, execute_spec, run_campaign
 from repro.campaign.scenarios import (
     resolve_scenario,
     scenario,
     scenario_names,
 )
-from repro.campaign.spec import Campaign, RunSpec, derive_seed
+from repro.campaign.spec import Campaign, CampaignShard, RunSpec, derive_seed
 
 __all__ = [
     "Campaign",
+    "CampaignShard",
     "RunSpec",
     "derive_seed",
     "RunResult",
     "CampaignResult",
+    "merge_shards",
     "ResultCache",
     "code_fingerprint",
     "run_campaign",
     "execute_spec",
     "default_workers",
+    "WarmPool",
+    "get_warm_pool",
+    "shutdown_warm_pools",
     "scenario",
     "resolve_scenario",
     "scenario_names",

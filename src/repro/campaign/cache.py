@@ -12,6 +12,17 @@ A cell's cache key is a SHA-256 over four components:
 Entries are one JSON file each under ``<root>/<key[:2]>/<key>.json``;
 writes go through a same-directory temp file + ``os.replace`` so a
 killed worker never leaves a half-written entry behind.
+
+The store is **concurrent-safe by construction**, which is what lets
+every warm-pool worker share it directly: reads are lock-free (a read
+sees either no entry or a complete one, never a torn write, because
+``os.replace`` is atomic), and puts are atomic single-writer renames
+with a per-process/per-thread temp name, so any number of workers —
+or whole concurrent campaigns — may hit the same root.  Two writers
+racing on one key write byte-identical content (results are pure
+functions of the key), so last-rename-wins is harmless.  The cache
+object itself is picklable (root path + materialised code hash), so
+workers never re-fingerprint the source tree.
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ import hashlib
 import json
 import os
 import pathlib
+import threading
 import typing as _t
 
 from repro.campaign.results import RunResult
@@ -72,13 +84,29 @@ class ResultCache:
         except (KeyError, TypeError, ValueError):
             return None
 
+    def get_many(self, specs: _t.Sequence[RunSpec]
+                 ) -> list[RunResult | None]:
+        """Batch prefetch: one result-or-None per spec, in order.
+
+        The parent calls this once before dispatching a campaign so the
+        pool only ever sees genuinely-missing cells; misses cost one
+        ``stat`` each and hits one read — no locks anywhere.
+        """
+        return [self.get(spec) for spec in specs]
+
     def put(self, result: RunResult) -> None:
-        """Store one successful run (failures are never cached)."""
+        """Store one successful run (failures are never cached).
+
+        Atomic single-writer: the entry appears in one ``os.replace``,
+        and the temp name is unique per process *and* thread so
+        concurrent campaigns in one process never collide.
+        """
         if not result.ok:
             return
         path = self._path(self.key(result.spec))
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp = path.with_suffix(
+            f".tmp{os.getpid()}-{threading.get_ident()}")
         tmp.write_text(json.dumps(result.to_dict(), sort_keys=True))
         os.replace(tmp, path)
 

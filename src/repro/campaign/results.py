@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.campaign.spec import RunSpec
 
-__all__ = ["RunResult", "CampaignResult"]
+__all__ = ["RunResult", "CampaignResult", "merge_shards"]
 
 
 @dataclass(frozen=True)
@@ -82,12 +82,18 @@ class RunResult:
 
 @dataclass
 class CampaignResult:
-    """All runs of one campaign, in expansion order."""
+    """All runs of one campaign (or one shard of it), in expansion order.
+
+    ``shard`` is ``(index, of)`` when this result covers one
+    :meth:`~repro.campaign.spec.Campaign.shard` slice, None for a whole
+    campaign; :func:`merge_shards` reassembles slices into the whole.
+    """
 
     name: str
     runs: list[RunResult]
     wall_s: float = 0.0
     workers: int = 1
+    shard: tuple[int, int] | None = None
 
     @property
     def ok(self) -> list[RunResult]:
@@ -129,3 +135,48 @@ class CampaignResult:
 
     def __len__(self) -> int:
         return len(self.runs)
+
+
+def merge_shards(campaign, shard_results: _t.Iterable[CampaignResult],
+                 ) -> CampaignResult:
+    """Reassemble shard results into the whole campaign's result.
+
+    ``campaign`` is the *unsharded* :class:`~repro.campaign.spec.
+    Campaign` the shards were cut from; its expansion order defines
+    where every run belongs, so shards may arrive in any order (and
+    from any machine — results are plain data).  The merge is strict:
+    a run none of the campaign's cells claims, a cell covered twice,
+    or a cell covered by no shard is a ``ValueError``, never a silent
+    best-effort.  The merged ``digest()`` is byte-identical to the
+    serial single-machine run — per-cell seeds and results are content-
+    addressed, so the partition cannot change them.
+    """
+    specs = campaign.expand()
+    position = {spec: i for i, spec in enumerate(specs)}
+    runs: list[RunResult | None] = [None] * len(specs)
+    wall_s, workers = 0.0, 1
+    for result in shard_results:
+        wall_s += result.wall_s
+        workers = max(workers, result.workers)
+        for run in result.runs:
+            i = position.get(run.spec)
+            if i is None:
+                raise ValueError(
+                    f"run {run.spec.label()} belongs to no cell of "
+                    f"campaign {campaign.name!r}")
+            if runs[i] is not None:
+                raise ValueError(
+                    f"cell {run.spec.label()} covered by more than one "
+                    "shard")
+            runs[i] = run
+    missing = [specs[i].label() for i, run in enumerate(runs)
+               if run is None]
+    if missing:
+        raise ValueError(
+            f"{len(missing)} cell(s) covered by no shard, first: "
+            f"{missing[0]}")
+    return CampaignResult(
+        name=campaign.name,
+        runs=_t.cast("list[RunResult]", runs),
+        wall_s=wall_s, workers=workers,
+    )

@@ -1,26 +1,32 @@
-"""Execute a campaign: serially, or sharded across a worker pool.
+"""Execute a campaign: serially, or over the persistent warm-worker pool.
 
-The runner owns everything *around* a run — cache lookups, process
-pools, per-run timeouts, bounded retries, progress reporting — while
-the run itself is a pure function of its :class:`RunSpec`: the worker
-re-imports the scenario by name, builds the world from the spec's
-derived seed, and returns a picklable :class:`RunResult`.  Because no
-run reads anything from another run (or from the parent process), the
-sharded campaign is bit-for-bit identical to the serial one; worker
-count only changes wall-clock.
+The runner owns everything *around* a run — cache prefetch, the warm
+pool, per-run timeouts, bounded retries, progress reporting — while the
+run itself is a pure function of its :class:`RunSpec`: the worker
+resolves the scenario by name, builds the world from the spec's derived
+seed, and returns a picklable :class:`RunResult`.  Because no run reads
+anything from another run (or from the parent process), the sharded
+campaign is bit-for-bit identical to the serial one; worker count only
+changes wall-clock.
 
-Failure handling is per-run, never campaign-fatal: an exception or a
-timeout becomes a ``RunResult`` with ``error`` set, the run is retried
-up to ``retries`` extra times, and whatever still fails is reported in
-``CampaignResult.failures`` alongside the successes.
+Parallel execution goes through :mod:`repro.campaign.pool`: a
+process-wide pool of **warm** workers that imported the simulator once
+and then service every campaign of the process's lifetime, scheduling
+cells by chunked dispatch with work stealing.  Where no multiprocessing
+context is usable the runner silently degrades to in-process serial
+execution — correctness never depends on the pool.
+
+Failure handling is per-run, never campaign-fatal: an exception, a
+timeout, or a worker process death becomes a ``RunResult`` with
+``error`` set, the run is retried up to ``retries`` extra times, and
+whatever still fails is reported in ``CampaignResult.failures``
+alongside the successes.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import signal
-import sys
 import threading
 import time
 import traceback
@@ -39,7 +45,18 @@ ProgressFn = _t.Callable[[int, int, RunResult], None]
 
 
 def default_workers() -> int:
-    """A sensible pool size: the CPUs this process may actually use."""
+    """A sensible pool size: the CPUs this process may actually use.
+
+    A ``REPRO_WORKERS`` environment variable overrides the detection
+    (clamped to >= 1) so CI runners and shared boxes can pin the pool
+    without touching call sites; a non-numeric value is ignored.
+    """
+    override = os.environ.get("REPRO_WORKERS")
+    if override is not None:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux fallback
@@ -54,9 +71,9 @@ def _call_with_timeout(fn: _t.Callable[[], object],
                        timeout_s: float | None) -> object:
     """Run ``fn`` under a SIGALRM deadline where the platform allows.
 
-    Pool workers execute tasks on their main thread, so the alarm is
-    available there; on platforms (or threads) without SIGALRM the run
-    simply executes unbounded rather than failing.
+    Warm-pool workers execute tasks on their main thread, so the alarm
+    is available there; on platforms (or threads) without SIGALRM the
+    run simply executes unbounded rather than failing.
     """
     if (not timeout_s or not hasattr(signal, "SIGALRM")
             or threading.current_thread() is not threading.main_thread()):
@@ -119,65 +136,27 @@ def execute_spec(spec: RunSpec, timeout_s: float | None = None) -> RunResult:
     )
 
 
-def _pool_task(payload: tuple[int, dict, float | None],
-               ) -> tuple[int, RunResult]:
-    """Top-level pool target (spawn-safe: reachable by import)."""
-    index, spec_dict, timeout_s = payload
-    return index, execute_spec(RunSpec.from_dict(spec_dict), timeout_s)
-
-
-def _resolve_context(name: str):
-    """The start-method context to shard with, or None to run serially.
-
-    ``spawn``/``forkserver`` children re-import the parent's
-    ``__main__``; when that module has a recorded file that does not
-    exist on disk (a stdin-fed script, a REPL), every child would die at
-    startup and the pool would respawn them forever.  Detect that case
-    and degrade to ``fork`` where available, else to serial execution —
-    correctness never depends on the context, only wall-clock does.
-    """
-    methods = multiprocessing.get_all_start_methods()
-    if name not in methods:
-        return None
-    if name in ("spawn", "forkserver"):
-        main = sys.modules.get("__main__")
-        spec_name = getattr(getattr(main, "__spec__", None), "name", None)
-        main_file = getattr(main, "__file__", None)
-        if (spec_name is None and main_file is not None
-                and not os.path.exists(main_file)):
-            name = "fork" if "fork" in methods else None
-    return multiprocessing.get_context(name) if name else None
-
-
-def _run_batch(indexed: list[tuple[int, RunSpec]], workers: int,
-               timeout_s: float | None, mp_context: str,
-               ) -> _t.Iterator[tuple[int, RunResult]]:
-    """Yield (index, result) pairs as runs finish."""
-    ctx = _resolve_context(mp_context) if (
-        workers > 1 and len(indexed) > 1) else None
-    if ctx is None:
-        for index, spec in indexed:
-            yield index, execute_spec(spec, timeout_s)
-        return
-    payloads = [(i, spec.to_dict(), timeout_s) for i, spec in indexed]
-    with ctx.Pool(processes=min(workers, len(indexed))) as pool:
-        yield from pool.imap_unordered(_pool_task, payloads, chunksize=1)
-
-
-def run_campaign(campaign: Campaign, *, workers: int | None = 1,
+def run_campaign(campaign: "Campaign | object", *, workers: int | None = 1,
                  cache: object = None, timeout_s: float | None = None,
                  retries: int = 1, progress: ProgressFn | None = None,
-                 mp_context: str = "spawn") -> CampaignResult:
+                 mp_context: str = "auto",
+                 pool: object = None) -> CampaignResult:
     """Execute every cell of ``campaign`` and return the ordered results.
 
-    ``workers=None`` uses :func:`default_workers`; ``workers=1`` runs
-    serially in-process (and is the reference the sharded paths are
-    bit-for-bit compared against).  ``cache`` is a
+    ``campaign`` is a :class:`Campaign` or one shard of it
+    (:meth:`Campaign.shard`).  ``workers=None`` uses
+    :func:`default_workers`; ``workers=1`` runs serially in-process (and
+    is the reference the parallel and sharded paths are bit-for-bit
+    compared against); ``workers>1`` dispatches to the process-wide warm
+    pool (``mp_context``: ``"auto"`` picks forkserver where available,
+    else pre-imported spawn), and ``pool`` substitutes an explicit
+    :class:`~repro.campaign.pool.WarmPool`.  ``cache`` is a
     :class:`~repro.campaign.cache.ResultCache`, a directory path, or
-    None; hits skip execution entirely and come back ``cached=True``.
-    ``retries`` bounds *extra* attempts for a failed run.  ``progress``
-    is called as ``progress(done, total, result)`` once per settled run,
-    cached hits included.
+    None; the parent batch-prefetches hits and the workers probe/fill
+    the same cache themselves, so no worker recomputes a cell any
+    process already produced.  ``retries`` bounds *extra* attempts for a
+    failed run.  ``progress`` is called as ``progress(done, total,
+    result)`` once per settled run, cached hits included.
     """
     if workers is None:
         workers = default_workers()
@@ -194,25 +173,27 @@ def run_campaign(campaign: Campaign, *, workers: int | None = 1,
         if progress is not None:
             progress(len(results), total, result)
 
-    for index, spec in enumerate(specs):
-        hit = store.get(spec) if store is not None else None
+    hits = store.get_many(specs) if store is not None else [None] * total
+    for index, (spec, hit) in enumerate(zip(specs, hits)):
         if hit is not None:
             settle(index, hit)
         else:
             pending.append((index, spec))
 
+    warm_pool = pool
+    if warm_pool is None and workers > 1 and len(pending) > 1:
+        from repro.campaign.pool import get_warm_pool
+        warm_pool = get_warm_pool(workers, mp_context)
+
     attempts_left = retries
     attempt_no = 1
     while pending:
         retry: list[tuple[int, RunSpec]] = []
-        for index, result in _run_batch(pending, workers, timeout_s,
-                                        mp_context):
-            result = replace(result, attempts=attempt_no)
+        for index, result in _run_batch(pending, warm_pool, timeout_s,
+                                        attempt_no, store):
             if not result.ok and attempts_left > 0:
                 retry.append((index, specs[index]))
                 continue
-            if result.ok and store is not None:
-                store.put(result)
             settle(index, result)
         if not retry:
             break
@@ -220,8 +201,34 @@ def run_campaign(campaign: Campaign, *, workers: int | None = 1,
             attempt_no + 1
 
     return CampaignResult(
-        name=campaign.name,
+        name=getattr(campaign, "name", ""),
         runs=[results[i] for i in range(total)],
         wall_s=time.perf_counter() - started,
         workers=workers,
+        shard=getattr(campaign, "shard_key", None),
     )
+
+
+def _run_batch(pending: list[tuple[int, RunSpec]], warm_pool,
+               timeout_s: float | None, attempt_no: int, store,
+               ) -> _t.Iterator[tuple[int, RunResult]]:
+    """One attempt over ``pending``: warm pool if available, else serial.
+
+    Both paths thread the attempt number onto the result *before* any
+    cache put, so a cached re-read always reports the true attempt
+    count (the pool's workers do the same internally).
+    """
+    if warm_pool is not None and len(pending) > 1:
+        yield from warm_pool.run_batch(pending, timeout_s=timeout_s,
+                                       attempt=attempt_no, cache=store)
+        return
+    for index, spec in pending:
+        hit = store.get(spec) if (store is not None
+                                  and attempt_no > 1) else None
+        if hit is not None:   # another process filled it meanwhile
+            yield index, hit
+            continue
+        result = replace(execute_spec(spec, timeout_s), attempts=attempt_no)
+        if result.ok and store is not None:
+            store.put(result)
+        yield index, result

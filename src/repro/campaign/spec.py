@@ -23,7 +23,8 @@ import json
 import typing as _t
 from dataclasses import dataclass, field
 
-__all__ = ["RunSpec", "Campaign", "derive_seed", "canonical_params"]
+__all__ = ["RunSpec", "Campaign", "CampaignShard", "derive_seed",
+           "canonical_params"]
 
 #: Seeds are 63-bit non-negative ints (RngRegistry requires >= 0).
 _SEED_BITS = 63
@@ -181,8 +182,63 @@ class Campaign:
                 ))
         return specs
 
+    def shard(self, index: int, of: int) -> "CampaignShard":
+        """Shard ``index`` (0-based) of ``of`` — the scale-out unit.
+
+        The partition is deterministic and purely positional: expansion
+        position ``i`` belongs to shard ``i % of``.  Round-robin over
+        the expansion order interleaves replicates and grid cells, so
+        every shard carries a representative (and therefore comparably
+        expensive) slice of the campaign rather than a contiguous block
+        of one parameter region.  Seeds and cache keys are content-
+        addressed per cell, so shards can run on different machines,
+        with different worker counts, in any order — and
+        :func:`~repro.campaign.results.merge_shards` reassembles a
+        result byte-identical to the unsharded serial run.
+        """
+        if of < 1:
+            raise ValueError(f"shard count must be >= 1, got {of}")
+        if not 0 <= index < of:
+            raise ValueError(
+                f"shard index must be in [0, {of}), got {index}")
+        return CampaignShard(campaign=self, index=index, of=of)
+
     def __len__(self) -> int:
         n_cells = 1
         for values in self.grid.values():
             n_cells *= len(values)
         return n_cells * self.repeats
+
+
+@dataclass(frozen=True)
+class CampaignShard:
+    """One machine's deterministic slice of a campaign.
+
+    Behaves like a campaign for the runner (``name``, ``expand()``,
+    ``len()``): ``run_campaign(campaign.shard(k, of))`` executes only
+    the cells whose expansion position is ``k`` modulo ``of``.  The
+    shard identity travels on the :class:`~repro.campaign.results.
+    CampaignResult` (``shard=(k, of)``) so merges can sanity-check the
+    partition they are reassembling.
+    """
+
+    campaign: Campaign
+    index: int
+    of: int
+
+    @property
+    def name(self) -> str:
+        return self.campaign.name
+
+    @property
+    def shard_key(self) -> tuple[int, int]:
+        return (self.index, self.of)
+
+    def expand(self) -> list[RunSpec]:
+        """This shard's cells, in campaign expansion order."""
+        return [spec for i, spec in enumerate(self.campaign.expand())
+                if i % self.of == self.index]
+
+    def __len__(self) -> int:
+        total = len(self.campaign)
+        return (total - self.index + self.of - 1) // self.of

@@ -15,6 +15,10 @@ FleetSupervisor` instances behind the hand-rolled HTTP core:
                                       findings, health transitions and
                                       fault installations
 ``POST /fleets/<name>/faults``        inject a canonical-JSON FaultPlan
+``POST /campaigns``                   launch a campaign on the server's
+                                      warm worker pool (202 + status URL)
+``GET /campaigns``                    all submitted campaigns' status
+``GET /campaigns/<name>``             one campaign: digest, counts, wall
 ====================================  =======================================
 
 Concurrency model — the whole point of the design: everything runs on
@@ -25,6 +29,13 @@ world before a tick or after it, never mid-heap.  Slow SSE consumers
 are isolated by the hub's bounded queues (drop-counted, never
 blocking), so no client — polling or streaming, fast or stalled — can
 perturb the simulation.  ``tests/serve`` proves the digest identity.
+
+Campaigns are the one deliberately off-loop workload: ``POST
+/campaigns`` coordinates :func:`~repro.campaign.runner.run_campaign`
+from a worker thread while the actual cells execute in the process-wide
+**warm pool**'s worker processes — separate interpreters with their own
+RNG state, so a campaign can saturate every core without touching the
+served fleets' determinism.
 """
 
 from __future__ import annotations
@@ -74,6 +85,11 @@ class ServeApp:
         self._running = False
         self.host: str | None = None
         self.port: int | None = None
+        #: Campaign submissions by name: status records served by
+        #: ``GET /campaigns[/name]`` and mutated only on this loop.
+        self.campaigns: dict[str, dict] = {}
+        #: Worker processes a ``POST /campaigns`` may ask for (clamped).
+        self.max_campaign_workers = 64
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -187,7 +203,20 @@ class ServeApp:
                 "fleets": {name: fleet.health_payload
                            for name, fleet in sorted(self.fleets.items())},
             })
+        if path == "/campaigns" and method == "POST":
+            return self._launch_campaign(request)
+        if path == "/campaigns" and method == "GET":
+            return json_response(200, {
+                "campaigns": [self.campaigns[name]
+                              for name in sorted(self.campaigns)],
+            })
         parts = [p for p in path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "campaigns" and method == "GET":
+            record = self.campaigns.get(parts[1])
+            if record is None:
+                raise HttpError(404, f"unknown campaign {parts[1]!r} "
+                                     f"(have: {sorted(self.campaigns)})")
+            return json_response(200, record)
         if len(parts) == 3 and parts[0] == "fleets":
             fleet = self._fleet(parts[1])
             if parts[2] == "health" and method == "GET":
@@ -229,6 +258,8 @@ class ServeApp:
                 "GET /fleets/<name>/health",
                 "GET /fleets/<name>/stats",
                 "POST /fleets/<name>/faults",
+                "POST /campaigns", "GET /campaigns",
+                "GET /campaigns/<name>",
             ],
             "sse_clients": len(self.hub),
             "sse_dropped_total": self.hub.total_dropped,
@@ -306,6 +337,92 @@ class ServeApp:
             "queued": True,
             "plan": plan.to_dict(),
             "applies_at_sim_time": round(fleet.sim_time, 6),
+        })
+
+    # -- campaigns -----------------------------------------------------------
+
+    def _launch_campaign(self, request: Request) -> bytes:
+        """``POST /campaigns``: validate, record, and launch off-loop.
+
+        The body mirrors the CLI: ``{"scenario": ..., "name"?, "seed"?,
+        "repeats"?, "base_params"?, "grid"?, "workers"?, "shard"?:
+        [k, of], "timeout_s"?, "retries"?}``.  Cells execute in the
+        warm pool's worker processes; only queue plumbing runs in this
+        process, so the served fleets' determinism is untouched.
+        """
+        from repro.campaign import Campaign, default_workers
+        from repro.campaign.scenarios import resolve_scenario
+
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "body must be a JSON object")
+        try:
+            scenario = payload["scenario"]
+            resolve_scenario(scenario)
+            name = str(payload.get("name", scenario))
+            campaign = Campaign(
+                name=name, scenario=scenario,
+                seed=int(payload.get("seed", 0)),
+                base_params=dict(payload.get("base_params") or {}),
+                grid=dict(payload.get("grid") or {}),
+                repeats=int(payload.get("repeats", 1)),
+                fault_plan=payload.get("fault_plan"),
+            )
+            target: object = campaign
+            if payload.get("shard") is not None:
+                index, of = payload["shard"]
+                target = campaign.shard(int(index), int(of))
+            workers = min(self.max_campaign_workers,
+                          int(payload.get("workers") or default_workers()))
+            timeout_s = payload.get("timeout_s")
+            timeout_s = None if timeout_s is None else float(timeout_s)
+            retries = int(payload.get("retries", 1))
+        except HttpError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HttpError(400, f"invalid campaign: {exc}") from exc
+        running = self.campaigns.get(name)
+        if running is not None and running["status"] == "running":
+            raise HttpError(409, f"campaign {name!r} is already running")
+        record = {
+            "name": name, "status": "running", "scenario": scenario,
+            "seed": campaign.seed, "total": len(target),
+            "workers": workers,
+            "shard": list(getattr(target, "shard_key", ()) or ()) or None,
+        }
+        self.campaigns[name] = record
+        self._spawn(self._run_campaign(record, target, workers, timeout_s,
+                                       retries))
+        return json_response(202, {
+            "accepted": True, "campaign": record,
+            "status_url": f"/campaigns/{name}",
+        })
+
+    async def _run_campaign(self, record: dict, target, workers: int,
+                            timeout_s: float | None, retries: int) -> None:
+        """Coordinate one campaign in a thread; publish the verdict."""
+        from repro.campaign import run_campaign
+
+        try:
+            out = await asyncio.to_thread(
+                run_campaign, target, workers=workers, timeout_s=timeout_s,
+                retries=retries)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            record.update(status="failed",
+                          error=f"{type(exc).__name__}: {exc}")
+        else:
+            record.update(
+                status="done", digest=out.digest(), runs=len(out.runs),
+                ok=len(out.ok), failed=len(out.failures),
+                cached=out.n_cached, wall_s=round(out.wall_s, 3),
+                failures=[{"run": r.spec.label(),
+                           "error": ((r.error or "").strip().splitlines()
+                                     or ["?"])[-1]}
+                          for r in out.failures[:5]],
+            )
+        self.hub.publish({
+            "event": "campaign", "campaign": record["name"],
+            "status": record["status"],
         })
 
     # -- SSE -----------------------------------------------------------------

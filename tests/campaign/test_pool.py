@@ -1,0 +1,231 @@
+"""The warm worker pool: reuse, stealing, crash recovery, cache visibility.
+
+These tests share one process-wide pool (``get_warm_pool``) on purpose —
+pool persistence across campaigns *is* the feature under test.  The
+synthetic scenarios live in ``tests/campaign/_pool_scenarios.py`` as
+``module:function`` references so worker processes can import them.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    default_workers,
+    get_warm_pool,
+    run_campaign,
+)
+from repro.campaign.pool import _chunk_size, _claim, resolve_start_method
+
+TINY = Campaign(
+    name="tiny", scenario="chain_beacons", seed=5,
+    base_params={"seconds": 5.0}, grid={"nodes": [3, 4]}, repeats=1,
+)
+
+SCN = "tests.campaign._pool_scenarios"
+
+
+def pool2():
+    pool = get_warm_pool(2, "auto")
+    assert pool is not None, "no multiprocessing context available"
+    return pool
+
+
+# -- scheduling arithmetic ---------------------------------------------------
+
+
+def test_chunk_size_is_guided():
+    # Big early chunks shrink toward the tail; never zero, never huge.
+    assert _chunk_size(1000, 4, max_chunk=32) == 32
+    assert _chunk_size(100, 4) == 6
+    assert _chunk_size(7, 4) == 1
+    assert _chunk_size(1, 1) == 1
+
+
+def _claim_state(n_workers, n_tasks):
+    ctx = multiprocessing.get_context()
+    lock = ctx.Lock()
+    head = ctx.Value("l", 0, lock=False)
+    batch_n = ctx.Value("l", n_tasks, lock=False)
+    shared_id = ctx.Value("l", 1, lock=False)
+    reserved = ctx.Array("l", [0] * (2 * n_workers), lock=False)
+    current = ctx.Array("l", [-1] * n_workers, lock=False)
+
+    def claim(worker, batch_id=1):
+        return _claim(worker, n_workers, lock, head, batch_n, reserved,
+                      current, batch_id, shared_id)
+
+    return claim, reserved
+
+
+def test_claim_chunks_then_steals_from_victim_tail():
+    claim, reserved = _claim_state(n_workers=2, n_tasks=32)
+    # Worker 0 claims the first guided chunk [0, 4): executes 0, holds
+    # [1, 4) as its visible, steal-able reserved range.
+    assert claim(0) == 0
+    assert (reserved[0], reserved[1]) == (1, 4)
+    # Worker 1 claims the next chunk [4, 7).
+    assert claim(1) == 4
+    # Worker 1 drains its own range and then the whole shared cursor;
+    # once the cursor is dry its next claim must STEAL from the tail of
+    # worker 0's still-reserved [1, 4) range -> position 3.
+    claimed_by_1 = []
+    while True:
+        pos = claim(1)
+        assert pos is not None, "cursor dry but victim range not stolen"
+        claimed_by_1.append(pos)
+        if pos == 3:
+            break
+    # The steal shrank the victim's range from its tail, not its head.
+    assert (reserved[0], reserved[1]) == (1, 3)
+    # The victim keeps working its (shrunk) range unperturbed.
+    assert claim(0) == 1
+    assert claim(0) == 2
+    # Everything claimed exactly once, nothing left for anyone.
+    all_claims = {0, 4, 1, 2, *claimed_by_1}
+    while (pos := claim(1)) is not None:
+        all_claims.add(pos)
+    assert claim(0) is None
+    assert all_claims == set(range(32))
+    assert len(claimed_by_1) == len(set(claimed_by_1))
+
+
+def test_claim_rejects_stale_batch_epoch():
+    claim, _ = _claim_state(n_workers=2, n_tasks=4)
+    assert claim(0, batch_id=99) is None   # not the live batch
+    assert claim(0, batch_id=1) == 0       # the live batch proceeds
+
+
+# -- the pool end to end -----------------------------------------------------
+
+
+def test_warm_pool_matches_serial_digest():
+    serial = run_campaign(TINY, workers=1)
+    parallel = run_campaign(TINY, workers=2)
+    assert parallel.digest() == serial.digest()
+    assert parallel.failures == [] and parallel.workers == 2
+
+
+def test_pool_persists_across_campaigns():
+    pool = pool2()
+    pool.warm(timeout_s=180.0)
+    pids_before = set(pool.pids())
+    assert len(pids_before) == 2
+    first = run_campaign(Campaign(
+        name="pids-a", scenario=f"{SCN}:echo_pid", seed=1,
+        grid={"cell": list(range(6))}), workers=2)
+    second = run_campaign(Campaign(
+        name="pids-b", scenario=f"{SCN}:echo_pid", seed=2,
+        grid={"cell": list(range(6))}), workers=2)
+    worker_pids = {r.values["pid"] for r in first.ok + second.ok}
+    # Same warm processes serviced both campaigns; none run in-parent.
+    assert worker_pids <= pids_before
+    assert set(pool.pids()) == pids_before
+    assert os.getpid() not in worker_pids
+
+
+def test_uneven_cells_overlap_across_workers():
+    """One expensive cell plus many cheap ones on two workers: the
+    cheap cells keep flowing while the slow cell runs, so wall-clock
+    stays well under the serial sum (sleeps overlap even on one CPU)."""
+    pool = pool2()
+    pool.warm(timeout_s=180.0)
+    durations = [0.3] + [0.05] * 8  # serial sum: 0.7 s
+    out = run_campaign(Campaign(
+        name="steal", scenario=f"{SCN}:sleepy", seed=3,
+        grid={"duration": durations}), workers=2, pool=pool)
+    assert out.failures == []
+    assert len(out.runs) == len(durations)
+    # Both warm workers actually serviced the batch...
+    assert len({r.values["pid"] for r in out.ok}) == 2
+    # ...and their sleeps overlapped: well under executing all serially.
+    assert out.wall_s < 0.6
+
+
+def test_worker_death_is_contained_and_pool_refills():
+    pool = pool2()
+    out = run_campaign(Campaign(
+        name="crashy", scenario=f"{SCN}:hard_crash", seed=4,
+        grid={"cell": list(range(6))}, base_params={"crash_cell": 2}),
+        workers=2, pool=pool, retries=0)
+    (failure,) = out.failures
+    assert failure.spec.params_dict["cell"] == 2
+    assert "died" in failure.error
+    assert len(out.ok) == 5          # every other cell still settled
+    # The pool refilled the dead slot and serves the next campaign.
+    after = run_campaign(TINY, workers=2, pool=pool)
+    assert after.failures == []
+    assert after.digest() == run_campaign(TINY, workers=1).digest()
+    assert pool.alive == 2
+
+
+def test_worker_death_feeds_the_retry_ladder(tmp_path):
+    """A worker death is a failure like any other: the cell is retried,
+    and when the crash was transient the retry succeeds (attempts=2)."""
+    pool = pool2()
+    out = run_campaign(Campaign(
+        name="crash-retry", scenario=f"{SCN}:crash_once", seed=6,
+        grid={"cell": list(range(4))},
+        base_params={"marker_dir": str(tmp_path), "crash_cell": 1}),
+        workers=2, pool=pool, retries=1)
+    assert out.failures == []
+    (recovered,) = [r for r in out.runs if r.spec.params_dict["cell"] == 1]
+    assert recovered.values["recovered"] is True
+    assert recovered.attempts == 2
+    assert all(r.attempts == 1 for r in out.runs if r is not recovered)
+
+
+def test_pool_unavailable_context_returns_none():
+    assert get_warm_pool(2, "definitely-not-a-start-method") is None
+    with pytest.raises(RuntimeError):
+        from repro.campaign.pool import WarmPool
+        WarmPool(2, "definitely-not-a-start-method")
+
+
+def test_resolve_auto_prefers_forkserver_or_spawn():
+    method = resolve_start_method("auto")
+    assert method in ("forkserver", "spawn", "fork")
+    methods = multiprocessing.get_all_start_methods()
+    if "forkserver" in methods and method != "fork":
+        assert method == "forkserver"
+
+
+# -- worker-count policy -----------------------------------------------------
+
+
+def test_default_workers_honors_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert default_workers() == 3
+    monkeypatch.setenv("REPRO_WORKERS", "0")     # clamped to >= 1
+    assert default_workers() == 1
+    monkeypatch.setenv("REPRO_WORKERS", "-2")
+    assert default_workers() == 1
+    monkeypatch.setenv("REPRO_WORKERS", "not-a-number")  # ignored
+    detected = default_workers()
+    assert detected >= 1
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert default_workers() == detected  # env gone == env unparsable
+
+
+# -- worker-visible cache ----------------------------------------------------
+
+
+def test_workers_fill_and_reuse_the_shared_cache(tmp_path):
+    campaign = Campaign(name="shared-cache", scenario="chain_beacons",
+                        seed=6, base_params={"seconds": 4.0},
+                        grid={"nodes": [3, 4]}, repeats=2)
+    first = run_campaign(campaign, workers=2, cache=tmp_path)
+    assert first.n_cached == 0 and first.failures == []
+    # Entries written by worker processes, readable by anyone.
+    assert list(tmp_path.rglob("*.json"))
+    second = run_campaign(campaign, workers=2, cache=tmp_path)
+    assert second.n_cached == len(second.runs)
+    assert second.digest() == first.digest()
+
+
+@pytest.mark.slow
+def test_explicit_spawn_pool_still_supported():
+    out = run_campaign(TINY, workers=2, mp_context="spawn")
+    assert out.digest() == run_campaign(TINY, workers=1).digest()

@@ -137,6 +137,62 @@ def test_result_value_lookup_prefers_scenario_values():
     assert result.value("missing", -1) == -1
 
 
+def _flaky(name, seed, marker_dir, cells=2):
+    return Campaign(
+        name=name, scenario="tests.campaign._pool_scenarios:flaky_once",
+        seed=seed, grid={"cell": list(range(cells))},
+        base_params={"marker_dir": str(marker_dir)},
+    )
+
+
+def test_cached_rereads_report_true_attempt_counts(tmp_path):
+    """Regression: ``attempts`` must be threaded onto the result before
+    the cache put, so a run that failed once and succeeded on retry
+    reads back from the cache as ``attempts=2``, not ``attempts=1``."""
+    cache, markers = tmp_path / "cache", tmp_path / "markers"
+    markers.mkdir()
+    first = run_campaign(_flaky("flaky", 3, markers), workers=1,
+                         cache=cache, retries=1)
+    assert first.failures == []
+    assert all(r.attempts == 2 for r in first.runs)
+    again = run_campaign(_flaky("flaky", 3, markers), workers=1,
+                         cache=cache, retries=1)
+    assert again.n_cached == len(again.runs)
+    assert all(r.attempts == 2 for r in again.runs)  # the regression
+
+
+def test_cached_attempt_counts_survive_the_pool_path(tmp_path):
+    """Same property when the retries and cache puts happen inside warm
+    pool workers rather than the parent."""
+    cache, markers = tmp_path / "cache", tmp_path / "markers"
+    markers.mkdir()
+    first = run_campaign(_flaky("flaky-pool", 4, markers, cells=4),
+                         workers=2, cache=cache, retries=1)
+    assert first.failures == []
+    assert all(r.attempts == 2 for r in first.runs)
+    again = run_campaign(_flaky("flaky-pool", 4, markers, cells=4),
+                         workers=2, cache=cache, retries=1)
+    assert again.n_cached == len(again.runs)
+    assert all(r.attempts == 2 for r in again.runs)
+
+
+def test_cache_get_many_prefetches_in_spec_order(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = TINY.expand()
+    assert cache.get_many(specs) == [None] * len(specs)
+    out = run_campaign(TINY, workers=1, cache=cache)
+    hits = cache.get_many(specs)
+    assert [h.spec for h in hits] == specs
+    assert all(h.cached for h in hits)
+    assert [h.counters for h in hits] == [r.counters for r in out.runs]
+    # A miss in the middle stays a None, in place.
+    stranger = Campaign(name="t", scenario="chain_beacons", seed=404,
+                        base_params={"seconds": 4.0}).expand()[0]
+    mixed = cache.get_many([specs[0], stranger, specs[1]])
+    assert mixed[0] is not None and mixed[2] is not None
+    assert mixed[1] is None
+
+
 @pytest.mark.slow
 def test_sharded_spawn_pool_matches_serial():
     """Two spawn workers produce byte-identical results to in-process
