@@ -58,6 +58,7 @@ import importlib
 import multiprocessing
 import os
 import sys
+import threading
 import time
 import traceback
 import typing as _t
@@ -275,6 +276,11 @@ class WarmPool:
         self._procs: list = [None] * workers
         self._ready: set[int] = set()
         self._batch_id = 0
+        # One batch at a time: the claim arrays, batch epoch and result
+        # pipes are shared pool-wide state, so concurrent run_batch
+        # callers (the serve layer runs campaigns on separate threads)
+        # must serialize or they corrupt each other's batches.
+        self._batch_lock = threading.Lock()
         self._closed = False
         for worker_id in range(workers):
             self._spawn(worker_id)
@@ -366,71 +372,81 @@ class WarmPool:
         probe/fill ``cache`` themselves (it must be picklable — a
         :class:`~repro.campaign.cache.ResultCache` is).  Every task
         yields exactly once, whatever workers live or die.
+
+        Thread-safe by serialization: the batch epoch, claim arrays and
+        result pipes are pool-wide shared state, so a cross-thread lock
+        is held from the generator's first step until it is exhausted
+        (or closed) — a second concurrent caller simply blocks until the
+        first batch drains, it never sees the first batch's results or
+        strands it mid-run.
         """
-        if self._closed:
-            raise RuntimeError("pool is closed")
-        tasks = [(index, spec.to_dict()) for index, spec in indexed]
-        n = len(tasks)
-        if n == 0:
-            return
-        self._batch_id += 1
-        with self._lock:
-            self._head.value = 0
-            self._batch_n.value = n
-            self._shared_batch_id.value = self._batch_id
-            for j in range(self.workers):
-                self._reserved[2 * j] = self._reserved[2 * j + 1] = 0
-                self._current[j] = _IDLE
-        live = {w for w, p in enumerate(self._procs)
-                if p is not None and p.is_alive()}
-        batch = (self._batch_id, tasks, timeout_s, attempt, cache)
-        for w in live:
-            self._batch_queues[w].put(batch)
-        produced: set[int] = set()
-        waiting_on = set(live)
-        try:
-            while len(produced) < n or waiting_on:
-                if not live:
-                    yield from self._finish_inline(
-                        tasks, timeout_s, attempt, cache, produced)
-                    return
-                readers = {self._readers[w]: w for w in live}
-                sentinels = {self._procs[w].sentinel: w for w in live}
-                for obj in _wait_connections(
-                        list(readers) + list(sentinels), timeout=0.5):
-                    w = readers.get(obj, sentinels.get(obj))
-                    if w not in live:
-                        continue  # already handled this pass
-                    if obj in sentinels:  # the worker process died
-                        live.discard(w)
-                        waiting_on.discard(w)
-                        yield from self._drain_reader(w, produced)
-                        yield from self._reap(w, tasks, attempt, produced,
-                                              thieves_remain=bool(live))
-                        continue
-                    try:
-                        kind, _, b_id, payload = obj.recv()
-                    except (EOFError, OSError):  # died; EOF beat the sentinel
-                        live.discard(w)
-                        waiting_on.discard(w)
-                        yield from self._reap(w, tasks, attempt, produced,
-                                              thieves_remain=bool(live))
-                        continue
-                    if kind == "ready":
-                        self._ready.add(w)
-                        continue
-                    if b_id != self._batch_id:
-                        continue  # stale message from a pre-refill worker
-                    if kind == "done":
-                        waiting_on.discard(w)
-                        continue
-                    pos, index, result = payload
-                    if pos in produced:
-                        continue  # already settled by crash recovery
-                    produced.add(pos)
-                    yield index, result
-        finally:
-            self._refill()
+        with self._batch_lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            tasks = [(index, spec.to_dict()) for index, spec in indexed]
+            n = len(tasks)
+            if n == 0:
+                return
+            self._batch_id += 1
+            with self._lock:
+                self._head.value = 0
+                self._batch_n.value = n
+                self._shared_batch_id.value = self._batch_id
+                for j in range(self.workers):
+                    self._reserved[2 * j] = self._reserved[2 * j + 1] = 0
+                    self._current[j] = _IDLE
+            live = {w for w, p in enumerate(self._procs)
+                    if p is not None and p.is_alive()}
+            batch = (self._batch_id, tasks, timeout_s, attempt, cache)
+            for w in live:
+                self._batch_queues[w].put(batch)
+            produced: set[int] = set()
+            waiting_on = set(live)
+            try:
+                while len(produced) < n or waiting_on:
+                    if not live:
+                        yield from self._finish_inline(
+                            tasks, timeout_s, attempt, cache, produced)
+                        return
+                    readers = {self._readers[w]: w for w in live}
+                    sentinels = {self._procs[w].sentinel: w for w in live}
+                    for obj in _wait_connections(
+                            list(readers) + list(sentinels), timeout=0.5):
+                        w = readers.get(obj, sentinels.get(obj))
+                        if w not in live:
+                            continue  # already handled this pass
+                        if obj in sentinels:  # the worker process died
+                            live.discard(w)
+                            waiting_on.discard(w)
+                            yield from self._drain_reader(w, produced)
+                            yield from self._reap(
+                                w, tasks, attempt, produced,
+                                thieves_remain=bool(live))
+                            continue
+                        try:
+                            kind, _, b_id, payload = obj.recv()
+                        except (EOFError, OSError):  # EOF beat the sentinel
+                            live.discard(w)
+                            waiting_on.discard(w)
+                            yield from self._reap(
+                                w, tasks, attempt, produced,
+                                thieves_remain=bool(live))
+                            continue
+                        if kind == "ready":
+                            self._ready.add(w)
+                            continue
+                        if b_id != self._batch_id:
+                            continue  # stale message, pre-refill worker
+                        if kind == "done":
+                            waiting_on.discard(w)
+                            continue
+                        pos, index, result = payload
+                        if pos in produced:
+                            continue  # already settled by crash recovery
+                        produced.add(pos)
+                        yield index, result
+            finally:
+                self._refill()
 
     # -- failure handling ----------------------------------------------------
 
@@ -512,24 +528,40 @@ class WarmPool:
 
 # -- shared pool registry ----------------------------------------------------
 
-_POOLS: dict[tuple[int, str], WarmPool] = {}
+_POOLS: dict[str, WarmPool] = {}
+_POOLS_LOCK = threading.Lock()
 
 
 def get_warm_pool(workers: int, mp_context: str = "auto",
                   ) -> WarmPool | None:
-    """The process-wide shared pool for ``(workers, context)``, created
-    on first use and reused (warm) by every later campaign.  Returns
+    """The process-wide shared pool for ``context``, created on first
+    use and reused (warm) by every later campaign.
+
+    One pool per start method: a request needing more workers than the
+    current pool holds retires it (after any in-flight batch drains)
+    and builds a bigger one; smaller requests share the existing pool —
+    extra idle workers cost almost nothing, while a registry keyed by
+    size would let a server fielding client-chosen worker counts
+    accumulate one persistent worker set per distinct count.  Returns
     None when no multiprocessing context is usable — callers fall back
-    to serial execution."""
+    to serial execution.
+    """
     method = resolve_start_method(mp_context)
     if method is None or workers < 1:
         return None
-    key = (workers, method)
-    pool = _POOLS.get(key)
-    if pool is None or pool.closed:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(method)
+        if pool is not None and not pool.closed:
+            if pool.workers >= workers:
+                return pool
+            workers = max(workers, pool.workers)
+            # Let the batch in flight (if any) finish on the old pool
+            # before retiring it — its campaign completes untouched.
+            with pool._batch_lock:
+                pool.close()
         pool = WarmPool(workers, method)
-        _POOLS[key] = pool
-    return pool
+        _POOLS[method] = pool
+        return pool
 
 
 def shutdown_warm_pools() -> None:

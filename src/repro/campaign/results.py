@@ -10,12 +10,25 @@ scenario computed — never live simulation objects.
 from __future__ import annotations
 
 import hashlib
+import json
 import typing as _t
 from dataclasses import dataclass, field, replace
 
 from repro.campaign.spec import RunSpec
 
 __all__ = ["RunResult", "CampaignResult", "merge_shards"]
+
+
+def _spec_key(spec: RunSpec) -> str:
+    """A hashable canonical identity for a spec.
+
+    ``RunSpec.params`` may carry list values (``canonical_params``
+    allows JSON scalars *and lists*), which makes the frozen dataclass
+    itself unhashable — so identity comparisons that need a dict go
+    through this canonical-JSON key instead of the spec object.
+    """
+    return json.dumps(spec.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
 
 
 @dataclass(frozen=True)
@@ -152,14 +165,14 @@ def merge_shards(campaign, shard_results: _t.Iterable[CampaignResult],
     addressed, so the partition cannot change them.
     """
     specs = campaign.expand()
-    position = {spec: i for i, spec in enumerate(specs)}
+    position = {_spec_key(spec): i for i, spec in enumerate(specs)}
     runs: list[RunResult | None] = [None] * len(specs)
     wall_s, workers = 0.0, 1
     for result in shard_results:
         wall_s += result.wall_s
         workers = max(workers, result.workers)
         for run in result.runs:
-            i = position.get(run.spec)
+            i = position.get(_spec_key(run.spec))
             if i is None:
                 raise ValueError(
                     f"run {run.spec.label()} belongs to no cell of "

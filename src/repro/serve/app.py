@@ -372,8 +372,9 @@ class ServeApp:
             if payload.get("shard") is not None:
                 index, of = payload["shard"]
                 target = campaign.shard(int(index), int(of))
-            workers = min(self.max_campaign_workers,
-                          int(payload.get("workers") or default_workers()))
+            workers = max(1, min(
+                self.max_campaign_workers,
+                int(payload.get("workers") or default_workers())))
             timeout_s = payload.get("timeout_s")
             timeout_s = None if timeout_s is None else float(timeout_s)
             retries = int(payload.get("retries", 1))

@@ -8,6 +8,7 @@ synthetic scenarios live in ``tests/campaign/_pool_scenarios.py`` as
 
 import multiprocessing
 import os
+import threading
 
 import pytest
 
@@ -124,6 +125,59 @@ def test_pool_persists_across_campaigns():
     assert worker_pids <= pids_before
     assert set(pool.pids()) == pids_before
     assert os.getpid() not in worker_pids
+
+
+def test_concurrent_campaigns_on_one_pool_stay_isolated():
+    """Two threads running campaigns on the SAME pool (the serve layer
+    does exactly this for concurrent ``POST /campaigns``) serialize at
+    the pool's batch lock: neither receives the other's results at its
+    own indices, and neither spins forever on tasks the other consumed.
+    """
+    pool = pool2()
+    pool.warm(timeout_s=180.0)
+    camps = {
+        key: Campaign(name=f"conc-{key}", scenario=f"{SCN}:echo_pid",
+                      seed=seed, grid={"cell": list(range(8))})
+        for key, seed in (("a", 21), ("b", 22))
+    }
+    out = {}
+
+    def run(key):
+        out[key] = run_campaign(camps[key], workers=2, pool=pool)
+
+    threads = [threading.Thread(target=run, args=(key,), daemon=True)
+               for key in camps]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=180.0)
+    assert all(not t.is_alive() for t in threads), "a campaign hung"
+    for key, camp in camps.items():
+        result = out[key]
+        assert result.failures == []
+        assert result.digest() == run_campaign(camp, workers=1).digest()
+
+
+def test_registry_keeps_one_pool_per_method(monkeypatch):
+    """Varying worker counts must not accumulate worker sets: the
+    registry holds one pool per start method, grows it to the max
+    requested size, and shares it with smaller requests."""
+    from repro.campaign import pool as pool_mod
+    monkeypatch.setattr(pool_mod, "_POOLS", {})
+    try:
+        first = get_warm_pool(1, "auto")
+        assert first is not None and first.workers == 1
+        assert get_warm_pool(1, "auto") is first
+        grown = get_warm_pool(2, "auto")
+        assert grown is not first and grown.workers == 2
+        assert first.closed
+        # A smaller request shares the bigger pool instead of creating
+        # (and leaking) a size-keyed sibling.
+        assert get_warm_pool(1, "auto") is grown
+        assert list(pool_mod._POOLS.values()) == [grown]
+    finally:
+        for p in pool_mod._POOLS.values():
+            p.close()
 
 
 def test_uneven_cells_overlap_across_workers():

@@ -87,6 +87,20 @@ def test_any_partition_merges_to_the_serial_digest(of):
     assert merged.workers >= 1 and merged.wall_s > 0
 
 
+def test_merge_handles_list_valued_params():
+    """Grid values may be lists (``canonical_params`` allows JSON
+    scalars *and* lists), which makes ``RunSpec`` unhashable — the
+    merge keys cells canonically, so such campaigns still reassemble."""
+    listy = Campaign(
+        name="listy", scenario="tests.campaign._pool_scenarios:echo_pid",
+        seed=13, grid={"weights": [[1, 2], [3, 4], [5, 6]]}, repeats=2,
+    )
+    serial = run_campaign(listy, workers=1)
+    assert serial.failures == []
+    merged = merge_shards(listy, _run_all_shards(listy, 2))
+    assert merged.digest() == serial.digest()
+
+
 def test_sharding_with_a_fault_plan_stays_deterministic():
     serial = run_campaign(CHAOS, workers=1)
     merged = merge_shards(CHAOS, _run_all_shards(CHAOS, 3))

@@ -110,6 +110,28 @@ def test_campaign_validation_and_lookup_errors():
     asyncio.run(main())
 
 
+def test_negative_workers_normalized_to_serial():
+    async def main():
+        app = make_app()
+        await app.start(auto_tick=False)
+        try:
+            body = dict(BODY, name="neg", workers=-3)
+            status, reply = await fetch_json(
+                app.port, "/campaigns", "POST", body)
+            assert status == 202
+            # Clamped to >= 1, never passed through as a bogus count
+            # that would silently degrade inside the worker thread.
+            assert reply["campaign"]["workers"] == 1
+            record = await poll_until_settled(app.port, "neg")
+            assert record["status"] == "done", record
+            assert record["digest"] == run_campaign(LOCAL,
+                                                    workers=1).digest()
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
+
+
 def test_duplicate_running_campaign_is_conflict():
     async def main():
         app = make_app()
