@@ -34,7 +34,7 @@ def idle_energy(duration=60.0):
 
 
 def test_idle_deployment_spends_nothing_on_liteview(benchmark, report):
-    energy = benchmark.pedantic(idle_energy, rounds=1, iterations=1)
+    energy = benchmark.pedantic(idle_energy, rounds=3, iterations=1)
     # Zero-overhead-when-inactive, in energy terms.
     for kind in MANAGEMENT_KINDS:
         assert energy.kind_fraction(kind) == 0.0
@@ -51,19 +51,21 @@ def test_idle_deployment_spends_nothing_on_liteview(benchmark, report):
 
 def test_active_session_energy_share(benchmark, report):
     """One management session against the 60 s beacon baseline."""
-    testbed = build_chain(4, spacing=60.0, seed=5,
-                          propagation_kwargs=QUIET_PROPAGATION)
-    dep = deploy_liteview(testbed, warm_up=15.0)
-    dep.login("192.168.0.1")
 
     def session():
+        # The whole world is built inside the timed callable so every
+        # round replays the identical session on a fresh testbed.
+        testbed = build_chain(4, spacing=60.0, seed=5,
+                              propagation_kwargs=QUIET_PROPAGATION)
+        dep = deploy_liteview(testbed, warm_up=15.0)
+        dep.login("192.168.0.1")
         dep.run("ping 192.168.0.2 round=3 length=32")
         dep.run("traceroute 192.168.0.4 round=1 port=10")
         dep.run("power 31")
         testbed.warm_up(max(0.0, 60.0 - testbed.env.now))
         return energy_report(testbed.monitor.packets)
 
-    energy = benchmark.pedantic(session, rounds=1, iterations=1)
+    energy = benchmark.pedantic(session, rounds=3, iterations=1)
     management = sum(energy.kind_fraction(k) for k in MANAGEMENT_KINDS)
     # A full diagnosis session costs less transmit energy than the
     # kernel's own beaconing over the same minute.
@@ -107,7 +109,7 @@ def test_beacon_frequency_tradeoff(benchmark, report):
     results = {
         interval: measure(interval) for interval in (0.5, 1.0, 2.0, 4.0)
     }
-    benchmark.pedantic(measure, args=(2.0,), rounds=1, iterations=1)
+    benchmark.pedantic(measure, args=(2.0,), rounds=3, iterations=1)
 
     detections = [results[i][0] for i in (0.5, 1.0, 2.0, 4.0)]
     rates = [results[i][1] for i in (0.5, 1.0, 2.0, 4.0)]

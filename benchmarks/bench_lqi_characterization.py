@@ -124,7 +124,7 @@ def test_interference_hits_lqi_not_rssi(benchmark, report):
         # so frames still decode, with visibly degraded correlation.
         return sample_link(30.0), sample_link(30.0, jam=True)
 
-    (clean, jammed) = benchmark.pedantic(both, rounds=1, iterations=1)
+    (clean, jammed) = benchmark.pedantic(both, rounds=3, iterations=1)
     clean_delivery, clean_lqi, clean_rssi = clean
     jam_delivery, jam_lqi, jam_rssi = jammed
     assert jam_delivery <= clean_delivery

@@ -27,7 +27,7 @@ def test_lqi_filter_ablation(benchmark, report):
     single = Campaign(name="lqi-one", scenario="lqi_ablation", seed=3,
                       base_params={"rounds": ROUNDS, "min_lqi": 90.0})
     benchmark.pedantic(lambda: run_campaign(single, workers=1),
-                       rounds=1, iterations=1)
+                       rounds=3, iterations=1)
     result = run_campaign(CAMPAIGN, workers=1)
     assert result.failures == []
     by_lqi = {r.spec.params_dict["min_lqi"]: r.values for r in result.ok}

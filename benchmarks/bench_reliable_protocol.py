@@ -149,7 +149,7 @@ def test_group_response_backoff_ablation(benchmark, report):
         return replies, retries, trials * 5
 
     with_backoff = benchmark.pedantic(run_group, args=(0.3,),
-                                      rounds=1, iterations=1)
+                                      rounds=3, iterations=1)
     without_backoff = run_group(0.0)
 
     # With the paper's random backoff, group replies come back nearly

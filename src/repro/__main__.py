@@ -231,7 +231,9 @@ def _parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help="serve a live fleet over HTTP")
     serve.add_argument("scenario", nargs="?", default="field",
-                       help="'field' (30 nodes), 'hundred' (100) or "
+                       help="'field' (30 nodes), 'hundred' (100), "
+                            "'city' (~1040, spatially indexed), "
+                            "'city:K' (a city of roughly K nodes) or "
                             "'chain:K' (default: field)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8700)

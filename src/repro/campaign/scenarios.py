@@ -72,13 +72,20 @@ def beacon_field(seed: int, *, nodes: int = 30, minutes: float = 1.0):
     beacon traffic over the vectorized medium.
     """
     from repro.core.deploy import deploy_liteview
-    from repro.workloads import hundred_node_field, thirty_node_field
+    from repro.workloads import (
+        hundred_node_field,
+        thirty_node_field,
+        thousand_node_city,
+    )
     if nodes == 30:
         testbed = thirty_node_field(seed=seed)
     elif nodes == 100:
         testbed = hundred_node_field(seed=seed)
+    elif nodes == 1000:
+        testbed = thousand_node_city(seed=seed)
     else:
-        raise ValueError(f"beacon_field supports 30 or 100 nodes, got {nodes}")
+        raise ValueError(
+            f"beacon_field supports 30, 100 or 1000 nodes, got {nodes}")
     deploy_liteview(testbed, warm_up=60.0 * minutes)
     return testbed, {
         "transmissions": testbed.monitor.counter("medium.transmissions"),

@@ -8,6 +8,7 @@ interpreter.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 
 from repro.core.commands.ping import PingService, install_ping
@@ -18,7 +19,15 @@ from repro.core.workstation import Workstation
 from repro.kernel.testbed import Testbed
 from repro.net.routing.geographic import GeographicForwarding
 
-__all__ = ["LiteViewDeployment", "deploy_liteview"]
+__all__ = ["LiteViewDeployment", "deploy_liteview", "GC_FREEZE_THRESHOLD"]
+
+#: Node count at which a deployment's static world is moved out of the
+#: cyclic garbage collector's view (``gc.freeze``).  A 1k-node world is
+#: millions of long-lived objects that every generation-2 collection
+#: would otherwise re-scan for cycles it never finds; freezing them
+#: keeps collections proportional to the *transient* per-event garbage.
+#: Reference counting still reclaims frozen objects normally.
+GC_FREEZE_THRESHOLD = 256
 
 
 @dataclass
@@ -50,6 +59,7 @@ def deploy_liteview(
     workstation_position: tuple[float, float] = (0.0, -10.0),
     controller_kwargs: dict | None = None,
     warm_up: float = 0.0,
+    gc_freeze: bool | None = None,
 ) -> LiteViewDeployment:
     """Install LiteView on every node of ``testbed``.
 
@@ -57,6 +67,12 @@ def deploy_liteview(
     installed protocols, e.g. for the protocol-comparison experiment).
     ``warm_up`` optionally runs the simulation so beacons settle before
     the first command.
+
+    ``gc_freeze`` freezes the fully wired world out of the cyclic
+    garbage collector (``None`` = automatically for testbeds of
+    ``GC_FREEZE_THRESHOLD`` or more nodes).  Any previously frozen
+    world is thawed first, so repeated large deployments in one
+    process do not pin dead testbeds in memory.
     """
     nodes = testbed.nodes()
     ping_services: dict[int, PingService] = {}
@@ -79,6 +95,16 @@ def deploy_liteview(
         traceroute_services=traceroute_services,
         controllers=controllers,
     )
+    if gc_freeze is None:
+        gc_freeze = len(nodes) >= GC_FREEZE_THRESHOLD
+    if gc_freeze:
+        # Thaw whatever an earlier deployment froze (a dropped world
+        # must stay collectable), sweep dead cycles once, then move
+        # everything alive — dominated by this deployment's static
+        # object graph — out of future collections.
+        gc.unfreeze()
+        gc.collect()
+        gc.freeze()
     if warm_up > 0:
         testbed.warm_up(warm_up)
     return deployment

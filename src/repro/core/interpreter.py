@@ -163,7 +163,8 @@ class CommandInterpreter:
                 "diagnosis: diagnose <node> (trace the path, survey its "
                 "hops, name what's wrong)\n"
                 "observability: stats [prefix] (metrics snapshot, "
-                "e.g. stats mac.) | "
+                "e.g. stats mac. or stats medium. for the "
+                "candidate-pruning gauges) | "
                 "trace on|off|last|<origin:port:seq> (packet lifecycle) | "
                 "profile on|off|report (event-loop hotspots)"
                 + ("\nneighborhood mode: list blacklist update exit"

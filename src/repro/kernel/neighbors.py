@@ -32,10 +32,22 @@ DEFAULT_BEACON_INTERVAL = 2.0
 _BEACON_FMT = ">ffB"  # x, y, name length; name bytes follow
 _BEACON_HEADER_BYTES = struct.calcsize(_BEACON_FMT)
 
+#: Last successfully decoded beacon payload: (payload bytes, x, y, name).
+#: One broadcast beacon reaches every in-range receiver as the *same*
+#: payload object (the parse memo in Packet.from_bytes shares the slice),
+#: so repeats skip the struct unpack and UTF-8 decode.  Identity-keyed on
+#: immutable bytes; the decoded fields are immutable and safe to share.
+_beacon_memo: tuple[bytes, float, float, str] | None = None
 
-@dataclass
+
+@dataclass(slots=True)
 class NeighborEntry:
-    """One row of the kernel neighbor table."""
+    """One row of the kernel neighbor table.
+
+    Slotted: a large deployment keeps tens of thousands of these rows
+    live and rewrites them on every beacon, so dropping the per-instance
+    dict both shrinks the table's footprint and speeds the EWMA updates.
+    """
 
     node_id: int
     name: str
@@ -83,6 +95,9 @@ class NeighborTable:
         self._blacklist: set[int] = set()
         self._seq = 0
         self._rng = node.rng.stream(f"neighbors.jitter.{node.id}")
+        # Lazily bound handle for the per-beacon receive counter (created
+        # on first increment so it stays out of untouched snapshots).
+        self._c_received = None
         node.stack.ports.subscribe(
             WellKnownPorts.NEIGHBOR, self._on_beacon, name="neighbor-beacons"
         )
@@ -217,17 +232,29 @@ class NeighborTable:
         self.node.monitor.count("neighbors.beacons_sent")
 
     def _on_beacon(self, packet: Packet, arrival: FrameArrival | None) -> None:
+        global _beacon_memo
         if arrival is None or packet.origin == self.node.id:
             return
-        try:
-            x, y, name_len = struct.unpack_from(_BEACON_FMT, packet.payload)
-            name = packet.payload[
-                _BEACON_HEADER_BYTES:_BEACON_HEADER_BYTES + name_len
-            ].decode("utf-8")
-        except (struct.error, UnicodeDecodeError):
-            self.node.monitor.count("neighbors.malformed_beacons")
-            return
-        self.node.monitor.count("neighbors.beacons_received")
+        payload = packet.payload
+        memo = _beacon_memo
+        if memo is not None and memo[0] is payload:
+            x, y, name = memo[1], memo[2], memo[3]
+        else:
+            try:
+                x, y, name_len = struct.unpack_from(_BEACON_FMT, payload)
+                name = payload[
+                    _BEACON_HEADER_BYTES:_BEACON_HEADER_BYTES + name_len
+                ].decode("utf-8")
+            except (struct.error, UnicodeDecodeError):
+                self.node.monitor.count("neighbors.malformed_beacons")
+                return
+            if type(payload) is bytes:
+                _beacon_memo = (payload, x, y, name)
+        c = self._c_received
+        if c is None:
+            c = self._c_received = self.node.monitor.counter_obj(
+                "neighbors.beacons_received")
+        c.value += 1
         self._update(packet.origin, name, (x, y), packet.seq, arrival)
 
     def _update(self, node_id: int, name: str,

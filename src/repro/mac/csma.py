@@ -61,6 +61,11 @@ class CsmaMac:
         self.queue = TxQueue(env, capacity=queue_capacity,
                              tracer=env.tracer, owner=self.node_id)
         self._rng = rng.stream(f"mac.backoff.{self.node_id}")
+        # Lazily bound handles for the per-frame receive counters
+        # (created on first increment so untouched counters stay out of
+        # snapshots).
+        self._c_received = None
+        self._c_filtered = None
         self._receive_handler: _t.Callable[[FrameArrival], None] | None = None
         xcvr.set_receive_handler(self._on_arrival)
         self._tx_process = env.process(self._tx_loop(), name=f"mac-tx-{self.node_id}")
@@ -159,8 +164,16 @@ class CsmaMac:
         """
         frame = arrival.frame
         if not frame.is_broadcast and frame.dst != self.node_id:
-            self.monitor.count("mac.filtered_frames")
+            c = self._c_filtered
+            if c is None:
+                c = self._c_filtered = self.monitor.counter_obj(
+                    "mac.filtered_frames")
+            c.value += 1
             return
-        self.monitor.count("mac.received_frames")
+        c = self._c_received
+        if c is None:
+            c = self._c_received = self.monitor.counter_obj(
+                "mac.received_frames")
+        c.value += 1
         if self._receive_handler is not None:
             self._receive_handler(arrival)

@@ -15,7 +15,13 @@ from repro.radio.cc2420 import (
     power_level_to_dbm,
 )
 from repro.radio.lqi import LQI_MAX, LQI_MIN, LqiModel, lqi_from_sinr
-from repro.radio.medium import FrameArrival, RadioMedium, Transceiver
+from repro.radio.medium import (
+    RANGE_MARGIN_SIGMAS,
+    FrameArrival,
+    RadioMedium,
+    Transceiver,
+)
+from repro.radio.partition import PartitionedMedium
 from repro.radio.modulation import (
     bit_error_rate,
     packet_reception_ratio,
@@ -23,6 +29,7 @@ from repro.radio.modulation import (
 )
 from repro.radio.propagation import LogDistancePropagation, distance_matrix
 from repro.radio.rssi import RssiModel, dbm_to_reading, reading_to_dbm
+from repro.radio.spatial import SpatialGrid
 
 __all__ = [
     "RadioConfig",
@@ -50,6 +57,9 @@ __all__ = [
     "LQI_MIN",
     "LQI_MAX",
     "RadioMedium",
+    "PartitionedMedium",
+    "SpatialGrid",
+    "RANGE_MARGIN_SIGMAS",
     "Transceiver",
     "FrameArrival",
 ]

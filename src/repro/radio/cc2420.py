@@ -106,10 +106,13 @@ class RadioConfig:
     channel: int = 17  # the channel used in the paper's sample output
 
     # Not dataclass fields: the medium installs ``_listener`` at attach
-    # time so channel hops invalidate its per-channel receiver index, and
-    # ``_tx_power_dbm`` caches the interpolated PA conversion (the medium
-    # reads it on every transmit).
+    # time so channel hops invalidate its per-channel receiver index,
+    # ``_power_listener`` so PA changes can shrink or grow its
+    # max-range-derived spatial-index radius, and ``_tx_power_dbm``
+    # caches the interpolated PA conversion (the medium reads it on
+    # every transmit).
     _listener = None
+    _power_listener = None
     _tx_power_dbm = power_level_to_dbm(MAX_POWER_LEVEL)
 
     def __post_init__(self) -> None:
@@ -127,6 +130,8 @@ class RadioConfig:
             )
         self.power_level = level
         self._tx_power_dbm = power_level_to_dbm(level)
+        if self._power_listener is not None:
+            self._power_listener()
 
     def set_channel(self, channel: int) -> None:
         """Set the channel, validating the 802.15.4 range."""

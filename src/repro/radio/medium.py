@@ -18,12 +18,18 @@ Hot-path design
 ---------------
 Every transmission used to walk all attached transceivers and make a
 per-receiver chain of scalar propagation and RNG calls; at 100 nodes that
-is the whole simulation's wall clock.  The medium now keeps
+is the whole simulation's wall clock, and a dense all-pairs distance
+matrix put a hard O(N²) memory floor under larger fields.  The medium now
+keeps
 
-* a master pairwise distance matrix over all attached nodes, rebuilt only
-  when a node attaches or moves;
-* a per-channel receiver index (sorted ids, transceivers, master-matrix
-  rows), rebuilt only when membership or a channel assignment changes;
+* a :class:`~repro.radio.spatial.SpatialGrid` over node positions, cell
+  size = the conservative maximum radio range, maintained incrementally
+  (attach inserts, a ``Transceiver.position`` assignment moves one
+  bucket entry);
+* a per-(sender, channel) *candidate index* — the id-sorted in-range
+  receivers, found by one grid query — so per-transmission work is
+  O(in-range contenders), not O(N), and no pairwise matrix exists at
+  all (rows are materialized per sender, lazily);
 * a per-(sender, channel) mean-loss row — deterministic path loss plus
   static shadowing — invalidated by the propagation model's shadowing
   epoch, so pinned links take effect;
@@ -33,10 +39,27 @@ numpy Generator fills an array from the same bitstream as repeated scalar
 draws, and the batches run in the same sorted-id order the scalar loops
 used, so seeded runs stay bit-for-bit identical — the determinism tests
 hold golden counters captured before this rewrite.
+
+Pruning vs determinism
+----------------------
+The spatial bound must never change *what happens*, only skip work that
+cannot matter.  The query radius is the distance at which deterministic
+path loss alone consumes the whole link budget ``max attached tx power −
+SENSITIVITY_DBM`` **plus** ``RANGE_MARGIN_SIGMAS`` standard deviations of
+(shadowing + fading) **plus** any pinned negative loss adjustment
+(:attr:`LogDistancePropagation.pinned_floor_db`).  A receiver outside
+that radius would fail the sensitivity check with overwhelming
+probability, drawing nothing from the reception/corruption/PHY streams —
+exactly as the dense path classifies it ``out of range``.  Candidate
+sets are enumerated sorted by id, so every stream that is consumed is
+consumed in the historical order.  ``use_spatial_index = False`` restores
+the dense enumeration, and the parity tests in
+``tests/integration/test_spatial_parity.py`` hold the two byte-identical.
 """
 
 from __future__ import annotations
 
+import math
 import typing as _t
 
 import numpy as np
@@ -50,8 +73,9 @@ from repro.radio.cc2420 import (
 )
 from repro.radio.lqi import LqiModel
 from repro.radio.modulation import packet_reception_ratio
-from repro.radio.propagation import LogDistancePropagation, distance_matrix
+from repro.radio.propagation import LogDistancePropagation
 from repro.radio.rssi import RssiModel
+from repro.radio.spatial import SpatialGrid
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 from repro.sim.monitor import Monitor, PacketRecord
@@ -61,7 +85,8 @@ from repro.units import dbm_sum
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.mac.frame import Frame
 
-__all__ = ["FrameArrival", "Transceiver", "RadioMedium", "CAPTURE_THRESHOLD_DB"]
+__all__ = ["FrameArrival", "Transceiver", "RadioMedium",
+           "CAPTURE_THRESHOLD_DB", "RANGE_MARGIN_SIGMAS"]
 
 #: Minimum SINR for decoding *in the presence of an overlapping frame*.
 #: The analytic PRR curve assumes Gaussian noise; a co-channel 802.15.4
@@ -69,6 +94,14 @@ __all__ = ["FrameArrival", "Transceiver", "RadioMedium", "CAPTURE_THRESHOLD_DB"]
 #: overlapping signals of comparable strength.  A ~4 dB capture margin is
 #: the standard fix (cf. the capture-effect literature for CC2420).
 CAPTURE_THRESHOLD_DB = 4.0
+
+#: How many standard deviations of (shadowing + fading) the spatial-index
+#: range bound adds to the deterministic link budget.  8σ puts the
+#: probability that a pruned receiver would actually have passed the
+#: sensitivity check around 1e-15 per draw — zero in any feasible run —
+#: while keeping the bound tight enough that a 1k-node district field
+#: prunes >90% of receivers per transmission.
+RANGE_MARGIN_SIGMAS = 8.0
 
 #: ``dbm_sum(NOISE_FLOOR_DBM)`` with no interferers round-trips to exactly
 #: the noise floor; precomputing it keeps the no-interference SINR
@@ -136,8 +169,9 @@ class Transceiver:
     @position.setter
     def position(self, value: tuple[float, float]) -> None:
         self._position = (float(value[0]), float(value[1]))
-        # Moving a node changes every pairwise distance through it.
-        self.medium._invalidate_topology()
+        # Moving a node changes every pairwise distance through it; the
+        # medium updates only the affected spatial-index buckets.
+        self.medium._reposition(self.node_id, self._position)
 
     def set_receive_handler(
         self, handler: _t.Callable[[FrameArrival], None]
@@ -156,48 +190,62 @@ class Transceiver:
             self._receive_handler(arrival)
 
 
-class _ChannelIndex:
-    """Snapshot of one channel's membership: who could hear a frame.
+class _CandidateIndex:
+    """Snapshot of one sender's receiver candidates on one channel.
 
-    ``ids`` is sorted ascending (the medium's draw-order contract) and
-    includes the sender of any transmission on the channel; ``master_rows``
-    maps each member to its row in the medium's pairwise distance matrix.
+    ``ids`` is sorted ascending (the medium's draw-order contract),
+    includes the sender, and — with the spatial index on — only nodes
+    within the conservative maximum radio range of the sender.  With the
+    index off it is the full channel membership (the dense historical
+    behavior).  ``positions`` carries the members' coordinates so loss
+    rows materialize without any global matrix.
     """
 
     __slots__ = ("channel", "token", "ids", "id_arr", "offset_of",
-                 "xcvrs", "master_rows")
+                 "xcvrs", "positions")
 
-    def __init__(self, channel: int, token: tuple[int, int], ids: list[int],
-                 xcvrs: list[Transceiver], master_rows: np.ndarray) -> None:
+    def __init__(self, channel: int, token: tuple, ids: list[int],
+                 xcvrs: list[Transceiver], positions: np.ndarray) -> None:
         self.channel = channel
         self.token = token
         self.ids = ids
         self.id_arr = np.array(ids, dtype=np.int64)
         self.offset_of = {nid: off for off, nid in enumerate(ids)}
         self.xcvrs = xcvrs
-        self.master_rows = master_rows
+        self.positions = positions
 
 
 class _ActiveTransmission:
     """Bookkeeping for one in-flight frame."""
 
     __slots__ = ("sender", "channel", "tx_power_dbm", "start", "end",
-                 "index", "rx", "rx_list", "overlapping", "overlap_senders")
+                 "index", "rx_list", "overlapping", "overlap_senders",
+                 "pos", "gate_m")
 
     def __init__(self, sender: int, channel: int, tx_power_dbm: float,
-                 start: float, end: float, index: _ChannelIndex,
-                 rx: np.ndarray) -> None:
+                 start: float, end: float, index: _CandidateIndex,
+                 rx_list: list[float], pos: tuple[float, float],
+                 gate_m: float) -> None:
         self.sender = sender
         self.channel = channel
         self.tx_power_dbm = tx_power_dbm
         self.start = start
         self.end = end
-        #: Channel membership and received powers, snapshotted at
+        #: Sender position and candidate radius at start-of-frame.  Two
+        #: transmissions farther apart than the sum of their radii have
+        #: disjoint candidate disks, so neither can interfere with (or
+        #: half-duplex-mute) any receiver of the other — the overlap
+        #: bookkeeping skips such pairs entirely.  Dense-index mediums
+        #: use an infinite radius (candidate sets are unbounded).
+        self.pos = pos
+        self.gate_m = gate_m
+        #: Candidate membership and received powers, snapshotted at
         #: start-of-frame (a receiver hopping away mid-frame still gets
-        #: the frame; one hopping in never does — as before).
+        #: the frame; one hopping in never does — as before).  Kept as a
+        #: plain list: the hot paths index it scalar-wise, and numpy
+        #: round-trips on ~40-element arrays dominate small-frame cost.
         self.index = index
-        self.rx = rx
-        self.rx_list: list[float] = rx.tolist()
+        self.rx_list = rx_list
         #: Same-channel transmissions whose airtime overlaps ours
         #: (interference), and the senders of *any* overlapping
         #: transmission (half-duplex: a transmitting radio cannot hear).
@@ -205,8 +253,8 @@ class _ActiveTransmission:
         self.overlap_senders: set[int] = set()
 
     def power_at(self, rid: int) -> float | None:
-        """Received power drawn for ``rid``, or None if it was not on the
-        channel at start-of-frame (or is the sender itself)."""
+        """Received power drawn for ``rid``, or None if it was not a
+        candidate at start-of-frame (or is the sender itself)."""
         if rid == self.sender:
             return None
         off = self.index.offset_of.get(rid)
@@ -226,6 +274,7 @@ class RadioMedium:
         propagation: LogDistancePropagation,
         *,
         corrupt_delivery_fraction: float = 0.3,
+        use_spatial_index: bool = True,
     ) -> None:
         self.env = env
         self.monitor = monitor
@@ -244,17 +293,46 @@ class RadioMedium:
         #: Fraction of failed receptions delivered as corrupted bytes (so
         #: the stack's CRC checker sees real work) rather than silence.
         self.corrupt_delivery_fraction = float(corrupt_delivery_fraction)
+        #: ``False`` restores the dense all-members candidate enumeration
+        #: (one shared index per channel); the parity tests flip this.
+        self.use_spatial_index = bool(use_spatial_index)
+        #: Cumulative receiver-candidate accounting: how many same-channel
+        #: receivers were actually evaluated vs skipped by the spatial
+        #: bound.  Mirrored into the ``medium.candidates.considered`` /
+        #: ``medium.candidates.pruned`` gauges (gauges, not counters, so
+        #: golden counter fixtures are untouched by pruning bookkeeping).
+        self.candidates_considered = 0
+        self.candidates_pruned = 0
+        self._gauge_considered = monitor.registry.gauge(
+            "medium.candidates.considered")
+        self._gauge_pruned = monitor.registry.gauge(
+            "medium.candidates.pruned")
+        # Lazily bound handles for the per-receiver counters (created on
+        # first increment so untouched counters stay out of snapshots).
+        self._c_halfduplex = None
+        self._c_interfered = None
+        self._c_lost = None
+        self._c_corrupt = None
+        self._c_tx = None
+        self._h_lqi = None
         # -- cached vectorized state (see module docstring) -------------
         self._topo_version = 0       # bumped on attach / reposition
         self._chan_version = 0       # bumped on any channel change
-        self._master_version = -1    # _topo_version the master reflects
+        self._power_version = 0      # bumped on any PA-level change
+        self._member_epoch = 0       # bumped on attach only
+        self._roster_epoch = -1      # _member_epoch the roster reflects
         self._ids: list[int] = []
-        self._index_of: dict[int, int] = {}
-        self._dist = np.zeros((0, 0))
-        self._chan_cache: dict[int, _ChannelIndex] = {}
+        self._grid: SpatialGrid | None = None
+        self._range_m = 0.0
+        self._range_version = 0
+        self._range_key: tuple | None = None
+        self._power_key: tuple | None = None
+        self._max_tx_dbm = 0.0
+        self._idx_cache: dict[_t.Any, _CandidateIndex] = {}
+        self._pop_cache: dict[int, tuple[tuple[int, int], int]] = {}
         self._row_cache: dict[
             tuple[int, int],
-            tuple[_ChannelIndex, int, np.ndarray, np.ndarray],
+            tuple[_CandidateIndex, int, np.ndarray, np.ndarray],
         ] = {}
 
     # -- membership --------------------------------------------------------
@@ -265,10 +343,23 @@ class RadioMedium:
         if node_id in self._xcvrs:
             raise RadioError(f"node {node_id} already attached to the medium")
         xcvr = Transceiver(self, node_id, position, config or RadioConfig())
+        self._adopt(xcvr)
+        return xcvr
+
+    def _adopt(self, xcvr: Transceiver) -> None:
+        """Register an existing transceiver (the facade's partition path
+        hands pre-built transceivers to child mediums)."""
+        node_id = xcvr.node_id
+        if node_id in self._xcvrs:
+            raise RadioError(f"node {node_id} already attached to the medium")
         self._xcvrs[node_id] = xcvr
         xcvr.config._listener = self._invalidate_channels
-        self._invalidate_topology()
-        return xcvr
+        xcvr.config._power_listener = self._invalidate_power
+        self._member_epoch += 1
+        self._topo_version += 1
+        if self._grid is not None:
+            # Keep the grid warm: an attach touches one bucket.
+            self._grid.insert(node_id, xcvr._position)
 
     def transceiver(self, node_id: int) -> Transceiver:
         """Look up an attached transceiver by node id."""
@@ -278,10 +369,12 @@ class RadioMedium:
             raise RadioError(f"node {node_id} not attached") from None
 
     def distance(self, a: int, b: int) -> float:
-        """Euclidean distance between two attached nodes (from the cached
-        pairwise matrix)."""
-        self._ensure_master()
-        return float(self._dist[self._index_of[a], self._index_of[b]])
+        """Euclidean distance between two attached nodes."""
+        pa = self._xcvrs[a]._position
+        pb = self._xcvrs[b]._position
+        dx = pa[0] - pb[0]
+        dy = pa[1] - pb[1]
+        return math.sqrt(dx * dx + dy * dy)
 
     def node_ids(self) -> list[int]:
         """Sorted ids of all attached nodes."""
@@ -290,55 +383,131 @@ class RadioMedium:
     # -- cache maintenance -------------------------------------------------
 
     def _invalidate_topology(self) -> None:
+        """Full topology invalidation (membership or positions changed in
+        a way we could not track incrementally)."""
         self._topo_version += 1
+        self._grid = None
+
+    def _reposition(self, node_id: int, position: tuple[float, float]) -> None:
+        """A node moved: update only its spatial-index bucket."""
+        self._topo_version += 1
+        grid = self._grid
+        if grid is not None and node_id in grid:
+            grid.move(node_id, position)
 
     def _invalidate_channels(self) -> None:
         self._chan_version += 1
 
-    def _ensure_master(self) -> None:
-        """Rebuild the sorted-id roster and distance matrix if stale."""
-        if self._master_version == self._topo_version:
-            return
-        ids = sorted(self._xcvrs)
-        self._ids = ids
-        self._index_of = {nid: row for row, nid in enumerate(ids)}
-        if ids:
-            positions = np.array(
-                [self._xcvrs[nid]._position for nid in ids], dtype=float
-            )
-            self._dist = distance_matrix(positions)
-        else:
-            self._dist = np.zeros((0, 0))
-        self._master_version = self._topo_version
+    def _invalidate_power(self) -> None:
+        self._power_version += 1
 
-    def _channel_index(self, channel: int) -> _ChannelIndex:
-        token = (self._topo_version, self._chan_version)
-        idx = self._chan_cache.get(channel)
+    @property
+    def max_range_m(self) -> float:
+        """The conservative maximum radio range (the spatial-index query
+        radius): beyond it no attached radio can detect any frame."""
+        self._ensure_range()
+        return self._range_m
+
+    def _ensure_range(self) -> None:
+        """Recompute the range bound if power levels or the propagation
+        model's pinned floor changed (lazy shadowing draws do not — the
+        statistical margin covers them)."""
+        pkey = (self._member_epoch, self._power_version)
+        if pkey != self._power_key:
+            self._power_key = pkey
+            self._max_tx_dbm = max(
+                (x.config._tx_power_dbm for x in self._xcvrs.values()),
+                default=0.0,
+            )
+        prop = self.propagation
+        rkey = (self._max_tx_dbm, prop.pinned_floor_db,
+                prop.shadowing_sigma_db, prop.fading_sigma_db)
+        if rkey != self._range_key:
+            self._range_key = rkey
+            budget = (
+                self._max_tx_dbm - SENSITIVITY_DBM
+                + RANGE_MARGIN_SIGMAS * (prop.shadowing_sigma_db
+                                         + prop.fading_sigma_db)
+                - min(0.0, prop.pinned_floor_db)
+            )
+            new_range = prop.range_for_budget_m(budget)
+            if new_range != self._range_m:
+                self._range_m = new_range
+                self._range_version += 1
+                self._grid = None  # cell size is stale
+
+    def _ensure_roster(self) -> None:
+        if self._roster_epoch != self._member_epoch:
+            self._ids = sorted(self._xcvrs)
+            self._roster_epoch = self._member_epoch
+
+    def _ensure_grid(self) -> SpatialGrid:
+        grid = self._grid
+        if grid is None:
+            grid = SpatialGrid(self._range_m)
+            for nid, xcvr in self._xcvrs.items():
+                grid.insert(nid, xcvr._position)
+            self._grid = grid
+        return grid
+
+    def _cand_index(self, sender_id: int, channel: int) -> _CandidateIndex:
+        """The receiver-candidate snapshot for one sender on one channel."""
+        self._ensure_range()
+        spatial = self.use_spatial_index
+        if spatial:
+            token = (self._topo_version, self._chan_version,
+                     self._range_version, True)
+            key: _t.Any = (sender_id, channel)
+        else:
+            # Dense: the index is sender-independent, share it per channel.
+            token = (self._topo_version, self._chan_version, -1, False)
+            key = channel
+        idx = self._idx_cache.get(key)
         if idx is not None and idx.token == token:
             return idx
-        self._ensure_master()
-        members = [
-            nid for nid in self._ids
-            if self._xcvrs[nid].config.channel == channel
-        ]
-        idx = _ChannelIndex(
-            channel, token, members,
-            [self._xcvrs[nid] for nid in members],
-            np.array([self._index_of[nid] for nid in members], dtype=np.intp),
-        )
-        self._chan_cache[channel] = idx
+        xcvrs_by_id = self._xcvrs
+        if spatial:
+            grid = self._ensure_grid()
+            near = grid.within(xcvrs_by_id[sender_id]._position,
+                               self._range_m)
+            members = [nid for nid in near
+                       if xcvrs_by_id[nid].config.channel == channel]
+        else:
+            self._ensure_roster()
+            members = [nid for nid in self._ids
+                       if xcvrs_by_id[nid].config.channel == channel]
+        xcvrs = [xcvrs_by_id[nid] for nid in members]
+        if members:
+            positions = np.array([x._position for x in xcvrs], dtype=float)
+        else:
+            positions = np.zeros((0, 2))
+        idx = _CandidateIndex(channel, token, members, xcvrs, positions)
+        self._idx_cache[key] = idx
         return idx
 
+    def _channel_population(self, channel: int) -> int:
+        """How many attached radios sit on ``channel`` right now (the
+        denominator of the pruning ratio)."""
+        token = (self._member_epoch, self._chan_version)
+        cached = self._pop_cache.get(channel)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        n = sum(1 for x in self._xcvrs.values()
+                if x.config.channel == channel)
+        self._pop_cache[channel] = (token, n)
+        return n
+
     def _mean_loss_row(
-        self, src: int, idx: _ChannelIndex
+        self, src: int, idx: _CandidateIndex
     ) -> tuple[np.ndarray, np.ndarray]:
         """Deterministic loss + static shadowing from ``src`` to every
-        other channel member, plus those members' offsets in ``idx``.
+        other candidate, plus those candidates' offsets in ``idx``.
 
         Cached per (sender, channel); the shadowing epoch in the key means
         a pinned or newly drawn link anywhere rebuilds the row (a rebuild
         with no missing links consumes no RNG, so caching cannot shift the
-        stream).
+        stream).  Distances materialize from the index's own positions —
+        one small vector per sender, never an all-pairs matrix.
         """
         prop = self.propagation
         cached = self._row_cache.get((src, idx.channel))
@@ -349,8 +518,8 @@ class RadioMedium:
         sub_offsets = np.delete(np.arange(len(idx.ids), dtype=np.intp),
                                 src_off)
         sub_ids = np.delete(idx.id_arr, src_off)
-        dists = self._dist[idx.master_rows[src_off],
-                           idx.master_rows[sub_offsets]]
+        deltas = idx.positions[sub_offsets] - idx.positions[src_off]
+        dists = np.sqrt((deltas ** 2).sum(axis=-1))
         # Same association order as the scalar path: (det + shadow),
         # fading added later by the caller.
         mean = (prop.deterministic_loss_db(dists)
@@ -404,8 +573,16 @@ class RadioMedium:
                 continue
             power = tx.power_at(rid)
             if power is None:
-                # The sampler hopped onto this channel after the frame
-                # started; compute its leakage on the fly.
+                # The sampler was not a candidate at start-of-frame.  If
+                # the sender is beyond the spatial bound, its leakage sits
+                # ≥ the stochastic margin below the sensitivity floor —
+                # inaudible, and skipping it keeps the shadowing stream
+                # untouched.  Otherwise the sampler hopped onto this
+                # channel after the frame started; compute its leakage on
+                # the fly, exactly as the dense path always has.
+                if (self.use_spatial_index
+                        and self.distance(tx.sender, rid) > self.max_range_m):
+                    continue
                 power = self.propagation.mean_received_power_dbm(
                     tx.tx_power_dbm, tx.sender, rid,
                     self.distance(tx.sender, rid),
@@ -435,24 +612,43 @@ class RadioMedium:
         tx_power = xcvr.config._tx_power_dbm
         airtime = frame.airtime
 
-        # Received power at every same-channel transceiver, one vector op
-        # per stochastic term, draws in sorted-id order.
-        idx = self._channel_index(channel)
+        # Received power at every in-range same-channel transceiver, one
+        # vector op per stochastic term, draws in sorted-id order.
+        idx = self._cand_index(sender_id, channel)
         mean, sub_offsets = self._mean_loss_row(sender_id, idx)
         count = len(sub_offsets)
+        pruned = self._channel_population(channel) - 1 - count
+        self.candidates_considered += count
+        self.candidates_pruned += pruned
+        # Incremented, not assigned: partitioned runs share one gauge
+        # across several child mediums, each with its own totals.
+        self._gauge_considered.value += count
+        self._gauge_pruned.value += pruned
         prop = self.propagation
         if count and prop.fading_sigma_db > 0:
             loss = mean + prop.fading_row(count)
         else:
             loss = mean
-        rx = np.full(len(idx.ids), -np.inf)
-        if count:
-            rx[sub_offsets] = tx_power - loss
+        # sub_offsets is always arange-minus-sender, so inserting the
+        # sender's -inf at its own offset rebuilds the full id-ordered
+        # row without a numpy scatter (values bit-identical).
+        rx_list: list[float] = (tx_power - loss).tolist() if count else []
+        rx_list.insert(idx.offset_of[sender_id], float("-inf"))
 
+        gate_m = self.max_range_m if self.use_spatial_index else math.inf
         tx = _ActiveTransmission(
-            sender_id, channel, tx_power, now, now + airtime, idx, rx
+            sender_id, channel, tx_power, now, now + airtime, idx, rx_list,
+            xcvr._position, gate_m
         )
+        sx, sy = tx.pos
         for other in self._active:
+            # Disjoint candidate disks: no receiver of either frame can
+            # see the other, so the cross-links would never be consulted.
+            lim = gate_m + other.gate_m
+            dx = sx - other.pos[0]
+            dy = sy - other.pos[1]
+            if dx * dx + dy * dy > lim * lim:
+                continue
             other.overlap_senders.add(sender_id)
             tx.overlap_senders.add(other.sender)
             if other.channel == channel:
@@ -535,21 +731,25 @@ class RadioMedium:
                 noise_only = dbm_sum(noise_floor)
             fault_corrupt_on = faults.corrupt_active
 
-        # Pass 1: classification (no RNG).
-        sens = (tx.rx >= SENSITIVITY_DBM).tolist()
+        # Pass 1: classification (no RNG).  One fused walk: the
+        # sensitivity test runs inline (``rx < threshold`` is the exact
+        # complement of the historical ``rx >= threshold`` — received
+        # powers are never NaN) and zip replaces four list indexings per
+        # candidate; this loop runs once per member per transmission.
         outcome = [_SKIP] * member_count
         cand_offs: list[int] = []
         interfered = [False] * member_count
         was_captured = [False] * member_count
         sinr_of = [0.0] * member_count
-        for off in range(member_count):
-            rid = ids[off]
+        off = -1
+        for rid, rx_xcvr, rx_power in zip(ids, xcvrs, rx_list):
+            off += 1
             if rid == sender_id:
                 continue
-            if not xcvrs[off].enabled:
+            if not rx_xcvr.enabled:
                 outcome[off] = _OFF
                 continue
-            if not sens[off]:
+            if rx_power < SENSITIVITY_DBM:
                 outcome[off] = _RANGE
                 continue
             # Half-duplex: a node that transmitted during our airtime
@@ -557,7 +757,6 @@ class RadioMedium:
             if overlap_senders and rid in overlap_senders:
                 outcome[off] = _HD
                 continue
-            rx_power = rx_list[off]
             captured = True
             if overlapping:
                 interference = [
@@ -630,7 +829,9 @@ class RadioMedium:
         rssi_of: list[int] = []
         lqi_of: list[int] = []
         if deliver_offs:
-            rssi_of = self.rssi_model.readings(tx.rx[deliver_offs])
+            rssi_of = self.rssi_model.readings(
+                np.array([rx_list[off] for off in deliver_offs])
+            )
             lqi_of = self.lqi_model.readings(
                 np.array([sinr_of[off] for off in deliver_offs])
             )
@@ -666,16 +867,28 @@ class RadioMedium:
                                 rx_power_dbm=round(rx_list[off], 3))
                 continue
             if code == _HD:
-                monitor.count("medium.halfduplex_loss")
+                c = self._c_halfduplex
+                if c is None:
+                    c = self._c_halfduplex = monitor.counter_obj(
+                        "medium.halfduplex_loss")
+                c.value += 1
                 if trace_on and is_dst:
                     tracer.emit("radio.drop", env_now, node=rid,
                                 packet=frame.trace_id, reason="half_duplex",
                                 sender=sender_id)
                 continue
             if interfered[off]:
-                monitor.count("medium.interfered_receptions")
+                c = self._c_interfered
+                if c is None:
+                    c = self._c_interfered = monitor.counter_obj(
+                        "medium.interfered_receptions")
+                c.value += 1
             if code == _LOST:
-                monitor.count("medium.lost_frames")
+                c = self._c_lost
+                if c is None:
+                    c = self._c_lost = monitor.counter_obj(
+                        "medium.lost_frames")
+                c.value += 1
                 if trace_on and is_dst:
                     tracer.emit(
                         "radio.drop", env_now, node=rid,
@@ -686,7 +899,11 @@ class RadioMedium:
                     )
                 continue
             if code == _CORRUPT:
-                monitor.count("medium.corrupted_frames")
+                c = self._c_corrupt
+                if c is None:
+                    c = self._c_corrupt = monitor.counter_obj(
+                        "medium.corrupted_frames")
+                c.value += 1
                 payload = payload_of[off]
                 crc_ok = False
             else:
@@ -695,7 +912,10 @@ class RadioMedium:
             rssi = rssi_of[delivery_pos]
             lqi = lqi_of[delivery_pos]
             delivery_pos += 1
-            monitor.observe("radio.lqi", lqi)
+            h = self._h_lqi
+            if h is None:
+                h = self._h_lqi = monitor.histogram_obj("radio.lqi")
+            h.observe(lqi)
             if trace_on and (is_dst or is_broadcast):
                 tracer.emit(
                     "radio.rx", env_now, node=rid,
@@ -716,16 +936,41 @@ class RadioMedium:
                 if is_dst:
                     delivered_to_dst = True
 
+        # An addressed destination the spatial bound excluded never
+        # appears in the loop above; its lifecycle trace still owes the
+        # "where did my packet go" answer.  No RNG: the estimate is
+        # deterministic loss only (the dense path's drawn value would
+        # differ by at most the stochastic terms, both irrelevant this
+        # far below sensitivity).
+        if (trace_on and not is_broadcast and dst is not None
+                and dst != sender_id and dst not in idx.offset_of):
+            dxcvr = self._xcvrs.get(dst)
+            if dxcvr is not None and dxcvr.config.channel == tx.channel:
+                if not dxcvr.enabled:
+                    tracer.emit("radio.drop", env_now, node=dst,
+                                packet=frame.trace_id, reason="radio_off",
+                                sender=sender_id)
+                else:
+                    est = tx.tx_power_dbm - self.propagation.deterministic_loss_db(
+                        self.distance(sender_id, dst))
+                    tracer.emit("radio.drop", env_now, node=dst,
+                                packet=frame.trace_id, reason="out_of_range",
+                                sender=sender_id,
+                                rx_power_dbm=round(est, 3))
+
         monitor.log_packet(PacketRecord(
             time=tx.start,
             sender=sender_id,
             receiver=None if is_broadcast else dst,
             kind=frame.kind,
-            port=getattr(frame, "port", None),
+            port=frame.port,
             size_bytes=frame_bytes,
             delivered=any_delivered if is_broadcast else delivered_to_dst,
         ))
-        monitor.count("medium.transmissions")
+        c = self._c_tx
+        if c is None:
+            c = self._c_tx = monitor.counter_obj("medium.transmissions")
+        c.value += 1
         # Our half of the overlap cross-links is no longer needed; peers
         # that outlive us only read our snapshot (index/rx), so clearing
         # here plus _prune's sweep bounds retention to the busy period.

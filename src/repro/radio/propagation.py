@@ -88,6 +88,14 @@ class LogDistancePropagation:
         #: a value pinned).  The medium keys its cached per-sender
         #: mean-loss rows on this, so pinned links invalidate them.
         self.shadowing_epoch = 0
+        #: The most *favorable* (negative) loss adjustment ever pinned or
+        #: injected, in dB — never positive, never relaxes.  The medium's
+        #: spatial index folds it into its conservative range bound so a
+        #: test or fault plan that pins a link 40 dB *better* than the
+        #: path-loss model cannot make the bound prune an audible node.
+        #: Lazily *drawn* shadowing does not move it: the statistical
+        #: margin already covers draws out to many sigma.
+        self.pinned_floor_db = 0.0
 
     # -- deterministic component -------------------------------------------
 
@@ -109,6 +117,20 @@ class LogDistancePropagation:
         """Vectorised all-pairs deterministic loss (diagonal = 0 distance
         clamps to the reference loss; callers never use self-links)."""
         return self.deterministic_loss_db(distance_matrix(positions))
+
+    def range_for_budget_m(self, link_budget_db: float) -> float:
+        """The distance at which deterministic loss consumes the budget.
+
+        Inverts :meth:`deterministic_loss_db`; never below the reference
+        distance (inside which the loss clamps).  The medium derives its
+        spatial-index radius from this with a conservative stochastic
+        margin on top — see ``RadioMedium._ensure_range``.
+        """
+        d = self.reference_distance_m * 10.0 ** (
+            (link_budget_db - self.reference_loss_db)
+            / (10.0 * self.exponent)
+        )
+        return max(float(d), self.reference_distance_m)
 
     # -- stochastic components -------------------------------------------------
 
@@ -132,6 +154,8 @@ class LogDistancePropagation:
         """Pin a link's shadowing (used by tests and fault injection —
         e.g. forcing a broken or strongly asymmetric link)."""
         self._shadowing[(src, dst)] = float(value)
+        if value < self.pinned_floor_db:
+            self.pinned_floor_db = float(value)
         self.shadowing_epoch += 1
 
     # -- fault-injection overlay ------------------------------------------------
@@ -151,6 +175,8 @@ class LogDistancePropagation:
         key = (src, dst)
         if value:
             self._penalties[key] = float(value)
+            if value < self.pinned_floor_db:
+                self.pinned_floor_db = float(value)
         else:
             self._penalties.pop(key, None)
         self.shadowing_epoch += 1

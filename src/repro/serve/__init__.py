@@ -13,7 +13,11 @@ See ``docs/SERVING.md`` for endpoint and event schemas.
 
 from repro.serve.app import ServeApp
 from repro.serve.fleet import FleetSupervisor, build_fleet
-from repro.serve.health import HealthAssessor, nearest_neighbor_links
+from repro.serve.health import (
+    MAX_WATCHLIST,
+    HealthAssessor,
+    nearest_neighbor_links,
+)
 from repro.serve.http import HttpError, Request
 from repro.serve.hub import EventHub, Subscription, format_sse
 
@@ -22,6 +26,7 @@ __all__ = [
     "FleetSupervisor",
     "build_fleet",
     "HealthAssessor",
+    "MAX_WATCHLIST",
     "nearest_neighbor_links",
     "EventHub",
     "Subscription",

@@ -26,7 +26,7 @@ import typing as _t
 from repro.core.deploy import deploy_liteview
 from repro.diag.render import recommendation, traffic_light
 from repro.faults import FaultPlan, install_faults
-from repro.serve.health import HealthAssessor
+from repro.serve.health import MAX_WATCHLIST, HealthAssessor
 from repro.serve.hub import EventHub
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -215,39 +215,61 @@ def build_fleet(spec: str = "field", *, seed: int = 3,
                 warm_up: float = 15.0,
                 rounds: int = 3,
                 links: _t.Iterable[tuple[int, int]] | None = None,
+                max_links: int | None = MAX_WATCHLIST,
                 hub: EventHub | None = None,
                 publish_trace: bool = True,
                 fault_plan: "FaultPlan | str | None" = None,
                 ) -> FleetSupervisor:
     """One-call fleet construction from a topology spec.
 
-    ``spec`` is the shell's vocabulary plus the large scenario:
+    ``spec`` is the shell's vocabulary plus the large scenarios:
     ``field`` (the paper's 30-node testbed), ``hundred`` (the 10x10
-    grid), or ``chain:K``.  The testbed is deployed with LiteView
+    grid), ``city`` (the ~1040-node clustered-district scenario, alias
+    ``thousand_node_city``), ``city:K`` (a city sized to roughly ``K``
+    nodes), or ``chain:K``.  The testbed is deployed with LiteView
     everywhere and warmed up so neighbor/routing state has settled
     before the first client ever polls.  ``fault_plan`` pre-injures the
     world at construction (the chaos-demo path); live injuries arrive
     later via ``POST /fleets/<name>/faults``.
+
+    ``max_links`` clamps the auto-generated ``/health`` watchlist (an
+    even-stride subsample; default :data:`~repro.serve.health.MAX_WATCHLIST`,
+    which leaves the paper-scale fleets unclamped) — pass ``None`` to
+    probe every nearest-neighbor link even on a city-scale fleet.
     """
+    import math
+
     from repro.workloads import build_chain
     from repro.workloads.scenarios import (
         QUIET_PROPAGATION,
         hundred_node_field,
         thirty_node_field,
+        thousand_node_city,
     )
 
     if spec == "field":
         testbed = thirty_node_field(seed=seed)
     elif spec == "hundred":
         testbed = hundred_node_field(seed=seed)
+    elif spec in ("city", "thousand_node_city"):
+        testbed = thousand_node_city(seed=seed)
+    elif spec.startswith("city:"):
+        # Size the district lattice so districts² × 40 ≈ K nodes.
+        target = int(spec.split(":", 1)[1])
+        if target < 1:
+            raise ValueError(f"city size must be positive, got {target}")
+        side = max(1, round(math.sqrt(target / 40)))
+        testbed = thousand_node_city(seed=seed, districts=side)
     elif spec.startswith("chain:"):
         testbed = build_chain(int(spec.split(":", 1)[1]), seed=seed,
                               propagation_kwargs=QUIET_PROPAGATION)
     else:
         raise ValueError(f"unknown fleet spec {spec!r} "
-                         "(use 'field', 'hundred' or 'chain:K')")
+                         "(use 'field', 'hundred', 'city', 'city:K' "
+                         "or 'chain:K')")
     deployment = deploy_liteview(testbed, warm_up=warm_up)
-    assessor = HealthAssessor(deployment, links=links, rounds=rounds)
+    assessor = HealthAssessor(deployment, links=links, rounds=rounds,
+                              max_links=max_links)
     supervisor = FleetSupervisor(
         name=name or spec.replace(":", ""), deployment=deployment,
         assess_every=assess_every, assessor=assessor, hub=hub,

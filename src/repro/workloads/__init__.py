@@ -3,15 +3,19 @@
 from repro.workloads.scenarios import (
     corridor_chain,
     QUIET_PROPAGATION,
+    REALISTIC_PROPAGATION,
     eight_hop_chain,
     hundred_node_field,
     thirty_node_field,
+    thousand_node_city,
 )
 from repro.workloads.topologies import (
     build_chain,
+    build_city,
     build_grid,
     build_random_field,
     chain_positions,
+    city_positions,
     grid_positions,
     ip_names,
     random_disk_positions,
@@ -23,14 +27,18 @@ __all__ = [
     "grid_positions",
     "random_disk_positions",
     "ip_names",
+    "city_positions",
     "build_chain",
+    "build_city",
     "build_grid",
     "build_random_field",
     "eight_hop_chain",
     "thirty_node_field",
     "hundred_node_field",
+    "thousand_node_city",
     "corridor_chain",
     "QUIET_PROPAGATION",
+    "REALISTIC_PROPAGATION",
     "Flow",
     "TrafficGenerator",
     "APP_SINK_PORT",

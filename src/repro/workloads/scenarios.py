@@ -14,12 +14,13 @@
 from __future__ import annotations
 
 from repro.kernel.testbed import Testbed
-from repro.workloads.topologies import build_chain, build_grid
+from repro.workloads.topologies import build_chain, build_city, build_grid
 
 __all__ = [
     "eight_hop_chain",
     "thirty_node_field",
     "hundred_node_field",
+    "thousand_node_city",
     "corridor_chain",
     "QUIET_PROPAGATION",
     "REALISTIC_PROPAGATION",
@@ -97,4 +98,32 @@ def hundred_node_field(seed: int = 1, *, spacing: float = 45.0,
         10, 10, spacing=spacing, jitter=spacing * 0.15, seed=seed,
         propagation_kwargs=(REALISTIC_PROPAGATION if realistic
                             else QUIET_PROPAGATION),
+    )
+
+
+def thousand_node_city(seed: int = 1, *, districts: int = 5,
+                       per_district: int = 40, pitch: float = 1500.0,
+                       spacing: float = 45.0, bridges: bool = True,
+                       realistic: bool = True,
+                       partitioned: bool = False) -> Testbed:
+    """A 1k-node city: clustered districts, sparse inter-district bridges.
+
+    The default is 5×5 districts of 40 nodes plus 40 bridge relays —
+    1040 nodes, an order of magnitude past :func:`hundred_node_field`.
+    Districts sit ``pitch`` metres apart, beyond the conservative radio
+    range of the realistic propagation model, so every transmission has
+    ~40 in-range candidates out of >1000 attached radios: the scenario
+    exists to exercise — and benchmark — the medium's spatial-index
+    pruning (>90% of receivers skipped per transmission).
+
+    ``bridges=False`` drops the relays, leaving ``districts²`` mutually
+    unreachable radio islands; combined with ``partitioned=True`` each
+    island runs on its own child medium (``repro.radio.partition``).
+    """
+    return build_city(
+        districts, districts, per_district,
+        pitch=pitch, spacing=spacing, bridges=bridges, seed=seed,
+        propagation_kwargs=(REALISTIC_PROPAGATION if realistic
+                            else QUIET_PROPAGATION),
+        partitioned=partitioned,
     )

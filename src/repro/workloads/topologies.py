@@ -19,10 +19,12 @@ __all__ = [
     "chain_positions",
     "grid_positions",
     "random_disk_positions",
+    "city_positions",
     "ip_names",
     "build_chain",
     "build_grid",
     "build_random_field",
+    "build_city",
 ]
 
 #: Default adjacent-node spacing (metres) tuned so, at full power with the
@@ -91,9 +93,90 @@ def random_disk_positions(n_nodes: int, radius: float,
     return positions
 
 
+def city_positions(districts_x: int, districts_y: int, per_district: int,
+                   *, pitch: float = 1500.0,
+                   spacing: float = 45.0,
+                   jitter: float | None = None,
+                   rng: RngRegistry | None = None,
+                   bridges: bool = True) -> list[tuple[float, float]]:
+    """A city-scale deployment: dense districts, sparse bridges.
+
+    ``districts_x × districts_y`` clustered districts of ``per_district``
+    nodes each (jittered sub-grids at ``spacing``), their origins
+    ``pitch`` metres apart — far enough that, under the realistic
+    propagation model, no node in one district can hear any node in the
+    next.  With ``bridges=True`` a relay node sits at the midpoint of
+    every adjacent district pair, stitching the city into one connected
+    network; with ``bridges=False`` each district is its own radio
+    island (the multi-medium partitioning demo).
+
+    Order is deterministic: districts row-major, nodes within a district
+    row-major, then all bridge relays (horizontal sweeps before vertical).
+    """
+    if districts_x < 1 or districts_y < 1:
+        raise ValueError("city needs positive district dimensions")
+    if per_district < 1:
+        raise ValueError("districts need at least one node")
+    if jitter is None:
+        jitter = spacing * 0.15
+    if jitter and rng is None:
+        raise ValueError("jitter needs an RngRegistry")
+    stream = rng.stream("topology.city") if rng else None
+
+    rows = max(1, int(np.sqrt(per_district)))
+    cols = -(-per_district // rows)  # ceil
+    extent_x = (cols - 1) * spacing
+    extent_y = (rows - 1) * spacing
+
+    def jittered(x: float, y: float) -> tuple[float, float]:
+        if stream is not None and jitter > 0:
+            x += float(stream.uniform(-jitter, jitter))
+            y += float(stream.uniform(-jitter, jitter))
+        return (x, y)
+
+    positions: list[tuple[float, float]] = []
+    for dy in range(districts_y):
+        for dx in range(districts_x):
+            ox, oy = dx * pitch, dy * pitch
+            placed = 0
+            for r in range(rows):
+                for c in range(cols):
+                    if placed == per_district:
+                        break
+                    positions.append(jittered(ox + c * spacing,
+                                              oy + r * spacing))
+                    placed += 1
+    if bridges:
+        # Relays at the midpoints of adjacent district *centers*: close
+        # enough to both districts' fringes to carry traffic between
+        # them, and to nothing else.
+        cx_of = [dx * pitch + extent_x / 2.0 for dx in range(districts_x)]
+        cy_of = [dy * pitch + extent_y / 2.0 for dy in range(districts_y)]
+        for dy in range(districts_y):
+            for dx in range(districts_x - 1):
+                positions.append(jittered(
+                    (cx_of[dx] + cx_of[dx + 1]) / 2.0, cy_of[dy]))
+        for dy in range(districts_y - 1):
+            for dx in range(districts_x):
+                positions.append(jittered(
+                    cx_of[dx], (cy_of[dy] + cy_of[dy + 1]) / 2.0))
+    return positions
+
+
 def ip_names(count: int, subnet: str = "192.168.0") -> list[str]:
-    """IP-convention node names, as in the paper's testbed."""
-    return [f"{subnet}.{i + 1}" for i in range(count)]
+    """IP-convention node names, as in the paper's testbed.
+
+    Past 254 hosts the subnet's last octet rolls over (``192.168.0.254``
+    is followed by ``192.168.1.1``), keeping the names IP-plausible for
+    the 1k-node city tier.
+    """
+    if count <= 254 or "." not in subnet:
+        return [f"{subnet}.{i + 1}" for i in range(count)]
+    head, _, base = subnet.rpartition(".")
+    start = int(base)
+    return [
+        f"{head}.{start + i // 254}.{i % 254 + 1}" for i in range(count)
+    ]
 
 
 def _populate(testbed: Testbed, positions: _t.Sequence[tuple[float, float]],
@@ -130,5 +213,21 @@ def build_random_field(n_nodes: int, radius: float, *, seed: int = 1,
     testbed = Testbed(seed=seed, propagation_kwargs=propagation_kwargs)
     positions = random_disk_positions(
         n_nodes, radius, testbed.rng, min_separation
+    )
+    return _populate(testbed, positions, **node_kwargs)
+
+
+def build_city(districts_x: int, districts_y: int, per_district: int, *,
+               pitch: float = 1500.0, spacing: float = 45.0,
+               bridges: bool = True, seed: int = 1,
+               propagation_kwargs: dict | None = None,
+               partitioned: bool = False,
+               **node_kwargs: object) -> Testbed:
+    """A city testbed (see :func:`city_positions`)."""
+    testbed = Testbed(seed=seed, propagation_kwargs=propagation_kwargs,
+                      partitioned=partitioned)
+    positions = city_positions(
+        districts_x, districts_y, per_district,
+        pitch=pitch, spacing=spacing, rng=testbed.rng, bridges=bridges,
     )
     return _populate(testbed, positions, **node_kwargs)

@@ -1,0 +1,84 @@
+"""PartitionedMedium: component structure and bit-identical parity.
+
+The facade's contract (see ``repro.radio.partition``): partitioning a
+deployment into per-component child media changes *nothing* about the
+simulation — with uniform transmit power, the packet log of a
+partitioned run is byte-identical to the single-medium run, because a
+component's in-range candidate sets equal the single medium's.
+"""
+
+import pytest
+
+from repro.core.deploy import deploy_liteview
+from repro.radio import PartitionedMedium
+from repro.workloads import build_city
+from repro.workloads.scenarios import (
+    QUIET_PROPAGATION,
+    REALISTIC_PROPAGATION,
+)
+
+
+def _two_islands(partitioned: bool, *, bridges: bool = False,
+                 propagation: dict = QUIET_PROPAGATION, seed: int = 11):
+    """Two 8-node districts, 1500 m apart: disconnected unless bridged."""
+    return build_city(2, 1, 8, pitch=1500.0, spacing=45.0,
+                      bridges=bridges, seed=seed,
+                      propagation_kwargs=propagation,
+                      partitioned=partitioned)
+
+
+def test_partitions_reflect_radio_islands():
+    testbed = _two_islands(True)
+    medium = testbed.medium
+    assert isinstance(medium, PartitionedMedium)
+    parts = medium.partitions()
+    assert len(parts) == 2
+    assert [len(p) for p in parts] == [8, 8]
+    # Every node lands in exactly one component.
+    assert sorted(i for p in parts for i in p) == \
+        [n.id for n in testbed.nodes()]
+
+
+def test_bridged_city_is_one_component():
+    # Realistic propagation: the conservative range bound (~1.1 km)
+    # reaches the mid-pitch bridge relay; under quiet propagation the
+    # bound is ~100 m and the relay would be its own island.
+    testbed = _two_islands(True, bridges=True,
+                           propagation=REALISTIC_PROPAGATION)
+    assert len(testbed.medium.partitions()) == 1
+
+
+@pytest.mark.parametrize("propagation", [
+    pytest.param(QUIET_PROPAGATION, id="quiet"),
+    pytest.param(REALISTIC_PROPAGATION, id="realistic"),
+])
+def test_partitioned_run_is_bit_identical(propagation):
+    digests = []
+    counters = []
+    for partitioned in (False, True):
+        testbed = _two_islands(partitioned, propagation=propagation)
+        deploy_liteview(testbed, warm_up=30.0)
+        digests.append(testbed.monitor.packet_digest())
+        counters.append(testbed.monitor.counters)
+    assert digests[0] == digests[1]
+    assert counters[0] == counters[1]
+
+
+def test_partition_facade_aggregates_candidate_accounting():
+    testbed = _two_islands(True)
+    deploy_liteview(testbed, warm_up=20.0)
+    medium = testbed.medium
+    assert medium.candidates_considered > 0
+    # Children track their own totals; the facade sums them, and the
+    # shared monitor gauges carry the same numbers.
+    registry = testbed.monitor.registry
+    assert registry.gauge("medium.candidates.considered").value == \
+        medium.candidates_considered
+    assert registry.gauge("medium.candidates.pruned").value == \
+        medium.candidates_pruned
+    # The other island never enters a child's books at all: each child
+    # holds only its own component's radios (plus the workstation in
+    # whichever district it attached to).
+    parts = medium.partitions()
+    assert len(parts) == 2
+    assert sum(len(p) for p in parts) == len(testbed.nodes())

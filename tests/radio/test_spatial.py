@@ -1,0 +1,130 @@
+"""SpatialGrid held to *exact* equality with brute force.
+
+The medium trusts :meth:`SpatialGrid.within` to return precisely the
+inclusive in-range id set, sorted ascending — candidate enumeration
+order feeds the RNG draw order, so an off-by-one at a bucket boundary
+would silently change simulation bytes.  These property tests therefore
+compare against a brute-force scan using the *same* float arithmetic,
+with strategies biased toward nodes and queries sitting exactly on cell
+boundaries, and re-check after ``move`` rewrites buckets.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio import SpatialGrid
+
+CELL = 50.0
+
+#: Arbitrary coordinates mixed with exact cell-size multiples, so points
+#: precisely on a bucket edge are drawn often instead of almost never.
+coordinate = st.one_of(
+    st.floats(min_value=-400.0, max_value=400.0,
+              allow_nan=False, allow_infinity=False),
+    st.integers(min_value=-8, max_value=8).map(lambda k: k * CELL),
+)
+position = st.tuples(coordinate, coordinate)
+
+#: Radii beyond the 3x3 neighborhood (> 2 cells) exercise the widened
+#: scan; exact multiples of the cell size sit on the inclusive edge.
+radius = st.one_of(
+    st.floats(min_value=0.0, max_value=300.0,
+              allow_nan=False, allow_infinity=False),
+    st.integers(min_value=0, max_value=6).map(lambda k: k * CELL),
+)
+
+
+def brute_force(points: dict, pos: tuple, r: float) -> list[int]:
+    """The specification: inclusive Euclidean filter, ascending ids,
+    written with the exact same float expression the grid uses."""
+    x, y = float(pos[0]), float(pos[1])
+    r2 = r * r
+    out = []
+    for nid, (px, py) in points.items():
+        dx = px - x
+        dy = py - y
+        if dx * dx + dy * dy <= r2:
+            out.append(nid)
+    out.sort()
+    return out
+
+
+def populated(points: list) -> tuple[SpatialGrid, dict]:
+    grid = SpatialGrid(CELL)
+    table = {}
+    for i, pos in enumerate(points):
+        grid.insert(i, pos)
+        table[i] = grid.position(i)
+    return grid, table
+
+
+@settings(deadline=None)
+@given(points=st.lists(position, max_size=40), query=position, r=radius)
+def test_within_matches_brute_force(points, query, r):
+    grid, table = populated(points)
+    assert grid.within(query, r) == brute_force(table, query, r)
+
+
+@settings(deadline=None)
+@given(points=st.lists(position, min_size=1, max_size=25),
+       moves=st.lists(st.tuples(st.integers(min_value=0, max_value=24),
+                                position), max_size=25),
+       query=position, r=radius)
+def test_within_matches_brute_force_after_moves(points, moves, query, r):
+    grid, table = populated(points)
+    for raw, pos in moves:
+        nid = raw % len(points)
+        grid.move(nid, pos)
+        table[nid] = grid.position(nid)
+    assert grid.within(query, r) == brute_force(table, query, r)
+
+
+@settings(deadline=None)
+@given(points=st.lists(position, min_size=1, max_size=25),
+       removals=st.lists(st.integers(min_value=0, max_value=24),
+                         max_size=25),
+       query=position, r=radius)
+def test_within_matches_brute_force_after_removals(points, removals,
+                                                   query, r):
+    grid, table = populated(points)
+    for raw in removals:
+        nid = raw % len(points)
+        if nid in grid:
+            grid.remove(nid)
+            del table[nid]
+    assert len(grid) == len(table)
+    assert grid.within(query, r) == brute_force(table, query, r)
+
+
+def test_node_exactly_on_query_circle_is_included():
+    grid = SpatialGrid(CELL)
+    grid.insert(1, (CELL, 0.0))
+    grid.insert(2, (CELL + 1e-9, 0.0))
+    assert grid.within((0.0, 0.0), CELL) == [1]
+
+
+def test_duplicate_insert_rejected():
+    grid = SpatialGrid(CELL)
+    grid.insert(1, (0.0, 0.0))
+    with pytest.raises(ValueError):
+        grid.insert(1, (10.0, 10.0))
+
+
+def test_remove_and_membership():
+    grid = SpatialGrid(CELL)
+    grid.insert(7, (3.0, 4.0))
+    assert 7 in grid and len(grid) == 1
+    grid.remove(7)
+    assert 7 not in grid and len(grid) == 0
+    assert grid.within((3.0, 4.0), 10.0) == []
+    with pytest.raises(KeyError):
+        grid.remove(7)
+
+
+def test_negative_radius_and_bad_cell_size():
+    grid = SpatialGrid(CELL)
+    grid.insert(1, (0.0, 0.0))
+    assert grid.within((0.0, 0.0), -1.0) == []
+    with pytest.raises(ValueError):
+        SpatialGrid(0.0)
