@@ -175,7 +175,7 @@ def run_serve_cli(args: argparse.Namespace) -> int:
 
     fleet = build_fleet(
         args.scenario, seed=args.seed, assess_every=args.assess_every,
-        fault_plan=args.faults,
+        fault_plan=args.faults, mode=args.mode,
     )
     app = ServeApp([fleet], tick_s=args.tick, step_s=args.step)
     print(f"serving fleet {fleet.name!r} ({len(fleet.testbed)} nodes, "
@@ -247,6 +247,11 @@ def _parser() -> argparse.ArgumentParser:
                        help="simulated seconds advanced per tick")
     serve.add_argument("--faults", metavar="JSON", default=None,
                        help="canonical FaultPlan JSON to pre-inject")
+    serve.add_argument("--mode", default="active",
+                       choices=("active", "passive", "hybrid"),
+                       help="assessment mode: probe the watchlist "
+                            "(active), read the zero-probe beacon "
+                            "detectors (passive), or both (hybrid)")
     return parser
 
 

@@ -69,6 +69,10 @@ class CommandInterpreter:
         #: The sim profiler, kept across ``profile off`` so ``profile
         #: report`` can still print the collected hotspot table.
         self._profiler: SimProfiler | None = None
+        #: The passive beacon listener behind ``watch`` (None until
+        #: ``watch on``); kept across ``watch off`` so ``watch report``
+        #: can still render what was heard.
+        self.online = None
 
     # -- public API ------------------------------------------------------------
 
@@ -116,6 +120,7 @@ class CommandInterpreter:
             "kill": self._cmd_kill,
             "stats": self._cmd_stats,
             "trace": self._cmd_trace,
+            "watch": self._cmd_watch,
             "profile": self._cmd_profile,
             "neighborsetup": self._cmd_neighborsetup,
             "help": self._cmd_help,
@@ -158,10 +163,12 @@ class CommandInterpreter:
 
     def _cmd_help(self, args: list[str]) -> str:
         return ("commands: pwd cd ls attach ping traceroute diagnose power "
-                "channel scan group events ps kill stats trace profile "
-                "neighborsetup\n"
+                "channel scan group events ps kill stats trace watch "
+                "profile neighborsetup\n"
                 "diagnosis: diagnose <node> (trace the path, survey its "
-                "hops, name what's wrong)\n"
+                "hops, name what's wrong) | "
+                "watch on|off|report (passive anomaly watch — listens to "
+                "beacons, sends zero probes)\n"
                 "observability: stats [prefix] (metrics snapshot, "
                 "e.g. stats mac. or stats medium. for the "
                 "candidate-pruning gauges) | "
@@ -435,6 +442,35 @@ class CommandInterpreter:
                                               for p in background):
                 return packet
         return tracer.last_packet_id
+
+    def _cmd_watch(self, args: list[str]) -> str:
+        """Passive anomaly watch: listen to beacons, never probe.
+
+        ``watch on`` taps the shared monitor's beacon stream with an
+        :class:`~repro.diag.online.OnlineMonitor`; ``watch report``
+        (or bare ``watch``) renders the current passive verdict —
+        zero packets sent, so watching costs the network nothing.
+        """
+        if len(args) > 1 or (args and args[0] not in
+                             ("on", "off", "report")):
+            raise ParameterError("usage: watch [on|off|report]")
+        sub = args[0] if args else "report"
+        if sub == "on":
+            if self.online is None:
+                from repro.diag.online import OnlineMonitor
+                self.online = OnlineMonitor(self.testbed).attach()
+            return "passive watch enabled (listening to beacons)"
+        if sub == "off":
+            if self.online is not None:
+                self.online.detach()
+            return "passive watch disabled"
+        if self.online is None:
+            return "watch has never been enabled (`watch on` first)"
+        report = self.online.report()
+        self.last_report = report
+        heard = (f"[watch] {self.online.beacons_seen} beacons heard on "
+                 f"{self.online.links_tracked} links, 0 probes sent")
+        return f"{heard}\n{report.explain()}"
 
     def _cmd_profile(self, args: list[str]) -> str:
         """Wall-clock profiling of the event loop: on, off, or report."""

@@ -10,6 +10,9 @@ The subsystem the paper is about, promoted out of ad-hoc helpers:
   ``Finding`` schema and ``DiagnosisReport.explain()``;
 * :mod:`repro.diag.engine` — ``DiagnosisEngine`` running declarative
   ``ProbePlan``s and reducing observations to named verdicts;
+* :mod:`repro.diag.online` — ``OnlineMonitor`` and its sliding-window
+  detectors: the zero-probe, passive path to the same ``Finding``
+  vocabulary, fed by the kernel beacon stream;
 * :mod:`repro.diag.score` — precision/recall of findings against
   injected ground truth (:mod:`repro.faults`);
 * :mod:`repro.diag.render` — operator-facing traffic lights and
@@ -31,6 +34,14 @@ from repro.diag.engine import (
 )
 from repro.diag.findings import FINDING_KINDS, DiagnosisReport, Finding
 from repro.diag.observations import ChannelReading, Hotspot, LinkReport
+from repro.diag.online import (
+    CusumDetector,
+    EwmaDetector,
+    OnlineMonitor,
+    OnlineThresholds,
+    WindowStats,
+    merge_findings,
+)
 from repro.diag.probe import (
     ChannelScanProbe,
     LinkProbe,
@@ -64,6 +75,12 @@ __all__ = [
     "FINDING_KINDS",
     "Finding",
     "DiagnosisReport",
+    "OnlineMonitor",
+    "OnlineThresholds",
+    "EwmaDetector",
+    "CusumDetector",
+    "WindowStats",
+    "merge_findings",
     "LinkReport",
     "Hotspot",
     "ChannelReading",

@@ -1,0 +1,895 @@
+"""Passive online anomaly detection over the beacon stream.
+
+Active diagnosis (:mod:`repro.diag.engine`) answers "what is wrong?"
+by injecting probe traffic; this module answers it by *listening*.
+Every node already beacons every ~2 s, and every reception carries
+LQI/RSSI readings and a sequence number — a free, continuous stream of
+per-link observations.  :class:`OnlineMonitor` taps that stream (a
+read-only callback registered on the shared
+:class:`~repro.sim.monitor.Monitor`), runs O(1)-memory sliding-window
+detectors per directed link, and emits the same closed-vocabulary
+:class:`~repro.diag.findings.Finding` schema the active engine
+produces — so :func:`~repro.diag.score.score_findings` grades both
+against the same ground truth and the serve layer can swap between
+them.
+
+Detectors:
+
+* :class:`WindowStats` — fixed-capacity ring buffer with O(1) running
+  mean/variance (push evicts; no rescan);
+* :class:`EwmaDetector` — level-shift detection against an adaptive
+  EWMA baseline with an EWMA absolute-deviation scale, k-sigma on/off
+  thresholds and consecutive-sample hysteresis (catches LQI/RSSI
+  collapse);
+* :class:`CusumDetector` — one-sided CUSUM changepoint detector on the
+  per-expected-beacon loss indicator reconstructed from sequence-number
+  gaps (catches loss-rate rises smaller than the quality noise).
+
+The monitor never touches the simulation: it consumes no RNG, schedules
+no events and sends no packets, so attaching it leaves the packet
+digest byte-identical — the zero-probe contract the passive serve mode
+and the determinism suite assert.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from dataclasses import dataclass
+
+from repro.diag.findings import FINDING_KINDS, DiagnosisReport, Finding
+from repro.kernel.neighbors import DEFAULT_BEACON_INTERVAL
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.testbed import Testbed
+    from repro.radio.medium import FrameArrival
+
+__all__ = [
+    "WindowStats",
+    "EwmaDetector",
+    "CusumDetector",
+    "OnlineThresholds",
+    "OnlineMonitor",
+    "merge_findings",
+    "PROBE_PACKET_KINDS",
+]
+
+#: Packet kinds that count as probe traffic (the zero-probe assertion
+#: and the hybrid self-traffic mask): reliable control commands, pings
+#: and traceroutes.  Beacons and routing adverts are the network's own
+#: background, not probes.
+PROBE_PACKET_KINDS = ("control", "ping", "traceroute")
+
+
+def finding_subject_key(finding: Finding) -> tuple:
+    """Canonical dedup key for one finding's *subject*.
+
+    The three link kinds fold together (an active ``lossy_link`` and a
+    passive ``broken_link`` on the same pair are one complaint, not
+    two), links fold across direction, and channel verdicts fold by
+    channel (the observer node may differ between modes).
+    """
+    if finding.link is not None:
+        return ("link", min(finding.link), max(finding.link))
+    if finding.channel is not None:
+        return ("channel", finding.channel)
+    return (finding.kind, finding.node)
+
+
+def merge_findings(primary: _t.Iterable[Finding],
+                   secondary: _t.Iterable[Finding]) -> list[Finding]:
+    """Union of two reports' findings, deduplicated by subject.
+
+    ``primary`` wins on conflicts (the hybrid assessor passes the
+    active report first: probe evidence is directed and richer).
+
+    One cross-mode root-cause rule, mirroring the suppression
+    :meth:`OnlineMonitor.poll` applies internally: an ``interference``
+    verdict explains unreachability.  While a channel is jammed, CSMA
+    keeps *every* transmitter silent — probes time out and beacons
+    stop fleet-wide — so a simultaneous ``dead_node`` claim is
+    unprovable and is dropped rather than reported as a second fault.
+    Returned in canonical order.
+    """
+    merged = list(primary)
+    named = {finding_subject_key(f) for f in merged}
+    for finding in secondary:
+        if finding_subject_key(finding) not in named:
+            merged.append(finding)
+    if any(f.kind == "interference" for f in merged):
+        merged = [f for f in merged if f.kind != "dead_node"]
+    merged.sort(key=Finding.sort_key)
+    return merged
+
+
+class WindowStats:
+    """Fixed-capacity ring buffer with O(1) running mean/variance.
+
+    ``push`` evicts the oldest sample once full and maintains running
+    sums, so mean/variance never rescan the buffer.  Sums are rebuilt
+    from the buffer every ``capacity * 256`` pushes to bound float
+    cancellation drift on arbitrarily long series — still amortised
+    O(1) per push, and memory is exactly ``capacity`` floats forever.
+    """
+
+    __slots__ = ("capacity", "_buf", "_next", "_count", "_sum", "_sumsq",
+                 "_pushes")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._buf: list[float] = [0.0] * self.capacity
+        self._next = 0
+        self._count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._pushes = 0
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        if self._count == self.capacity:
+            old = self._buf[self._next]
+            self._sum -= old
+            self._sumsq -= old * old
+        else:
+            self._count += 1
+        self._buf[self._next] = value
+        self._next = (self._next + 1) % self.capacity
+        self._sum += value
+        self._sumsq += value * value
+        self._pushes += 1
+        if self._pushes % (self.capacity * 256) == 0:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        live = self.values()
+        self._sum = math.fsum(live)
+        self._sumsq = math.fsum(v * v for v in live)
+
+    def values(self) -> list[float]:
+        """Live samples, oldest first (for tests and evidence)."""
+        if self._count < self.capacity:
+            return self._buf[:self._count]
+        return self._buf[self._next:] + self._buf[:self._next]
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        return self._count == self.capacity
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (clamped at 0 against float drift)."""
+        if not self._count:
+            return 0.0
+        m = self.mean
+        return max(0.0, self._sumsq / self._count - m * m)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class EwmaDetector:
+    """Level-shift detector: adaptive EWMA baseline + hysteresis.
+
+    Tracks an EWMA mean and an EWMA absolute deviation of the series.
+    A sample further than ``k_on`` deviations from the baseline (in the
+    watched ``direction``) counts toward firing; ``hysteresis``
+    consecutive such samples fire the detector.  While counting (and
+    while fired) the baseline is *gated* — outliers do not update it —
+    so a genuine level shift is not absorbed before it can fire.  Once
+    fired, ``hysteresis`` consecutive samples back within ``k_off``
+    deviations recover it (the recovery path of transient faults).
+
+    State is a handful of floats: O(1) memory for any series length.
+    Non-finite samples are ignored (counted in ``ignored``), so the
+    confidence is finite and in [0, 1] by construction.
+    """
+
+    __slots__ = ("alpha", "k_on", "k_off", "hysteresis", "min_samples",
+                 "sigma_floor", "direction", "n", "ignored", "mean", "dev",
+                 "fired", "_over", "_under", "_peak")
+
+    def __init__(self, *, alpha: float = 0.2, k_on: float = 4.0,
+                 k_off: float = 2.0, hysteresis: int = 3,
+                 min_samples: int = 8, sigma_floor: float = 1.0,
+                 direction: str = "both"):
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if k_off > k_on:
+            raise ValueError(f"k_off ({k_off}) must not exceed k_on ({k_on})")
+        if direction not in ("both", "up", "down"):
+            raise ValueError(f"direction must be both/up/down, "
+                             f"got {direction!r}")
+        if sigma_floor <= 0:
+            raise ValueError(f"sigma_floor must be > 0, got {sigma_floor}")
+        self.alpha = float(alpha)
+        self.k_on = float(k_on)
+        self.k_off = float(k_off)
+        self.hysteresis = max(1, int(hysteresis))
+        self.min_samples = max(1, int(min_samples))
+        self.sigma_floor = float(sigma_floor)
+        self.direction = direction
+        self.n = 0
+        self.ignored = 0
+        self.mean = 0.0
+        self.dev = 0.0
+        self.fired = False
+        self._over = 0
+        self._under = 0
+        self._peak = 0.0
+
+    def _excess(self, value: float) -> float:
+        """Signed deviation in sigma units, oriented by ``direction``."""
+        sigma = max(self.dev, self.sigma_floor)
+        z = (value - self.mean) / sigma
+        if self.direction == "down":
+            return -z
+        if self.direction == "up":
+            return z
+        return abs(z)
+
+    def _absorb(self, value: float) -> None:
+        a = self.alpha
+        self.dev = (1 - a) * self.dev + a * abs(value - self.mean)
+        self.mean = (1 - a) * self.mean + a * value
+
+    def update(self, value: float) -> bool:
+        """Feed one sample; returns the (possibly new) fired state."""
+        value = float(value)
+        if not math.isfinite(value):
+            self.ignored += 1
+            return self.fired
+        if self.n == 0:
+            self.mean = value
+        if self.n < self.min_samples:
+            self._absorb(value)
+            self.n += 1
+            return self.fired
+        excess = self._excess(value)
+        if not self.fired:
+            if excess >= self.k_on:
+                self._over += 1
+                if self._over >= self.hysteresis:
+                    self.fired = True
+                    self._peak = excess
+                    self._under = 0
+            else:
+                self._over = 0
+                self._absorb(value)
+        else:
+            self._peak = max(self._peak, excess)
+            if excess <= self.k_off:
+                self._under += 1
+                if self._under >= self.hysteresis:
+                    self.fired = False
+                    self._over = 0
+                    self._under = 0
+                    self._peak = 0.0
+                    self._absorb(value)
+            else:
+                self._under = 0
+        self.n += 1
+        return self.fired
+
+    @property
+    def shift(self) -> float:
+        """Peak excess (in sigma units) of the current firing, else 0."""
+        return self._peak if self.fired else 0.0
+
+    @property
+    def confidence(self) -> float:
+        """Confidence in [0, 1]; 0 when quiet, >= 0.5 once fired."""
+        if not self.fired:
+            return 0.0
+        return min(1.0, 0.5 + (self._peak - self.k_on) / (6.0 * self.k_on))
+
+    def reset(self) -> None:
+        self.n = 0
+        self.ignored = 0
+        self.mean = 0.0
+        self.dev = 0.0
+        self.fired = False
+        self._over = 0
+        self._under = 0
+        self._peak = 0.0
+
+
+class CusumDetector:
+    """One-sided (upper) CUSUM changepoint detector.
+
+    Accumulates ``max(0, g + (x - target - slack))`` and fires while the
+    statistic is at or above ``threshold``.  With the per-expected-beacon
+    loss indicator as input (``target=0``), ``slack`` is the tolerated
+    ambient loss rate and ``threshold`` the excess lost-beacon mass that
+    constitutes a changepoint; after the fault clears, each delivered
+    beacon drains ``slack`` from the statistic, so recovery de-asserts
+    the detector without an explicit reset.  The statistic is clamped at
+    ``cap`` (default ``2 * threshold``) so an arbitrarily long burst
+    cannot push the de-assert arbitrarily far past the recovery.
+
+    O(1) memory; non-finite samples are ignored.
+    """
+
+    __slots__ = ("target", "slack", "threshold", "cap", "n", "ignored",
+                 "_stat")
+
+    def __init__(self, *, target: float = 0.0, slack: float = 0.15,
+                 threshold: float = 2.0, cap: float | None = None):
+        if slack < 0:
+            raise ValueError(f"slack must be >= 0, got {slack}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        self.target = float(target)
+        self.slack = float(slack)
+        self.threshold = float(threshold)
+        self.cap = float(cap) if cap is not None else 2.0 * self.threshold
+        if self.cap < self.threshold:
+            raise ValueError(f"cap ({self.cap}) must be >= threshold "
+                             f"({self.threshold})")
+        self.n = 0
+        self.ignored = 0
+        self._stat = 0.0
+
+    def update(self, value: float) -> bool:
+        value = float(value)
+        if not math.isfinite(value):
+            self.ignored += 1
+            return self.fired
+        self._stat = min(self.cap, max(
+            0.0, self._stat + (value - self.target - self.slack)))
+        self.n += 1
+        return self.fired
+
+    @property
+    def statistic(self) -> float:
+        return self._stat
+
+    @property
+    def fired(self) -> bool:
+        return self._stat >= self.threshold
+
+    @property
+    def confidence(self) -> float:
+        """Confidence in [0, 1]; 0 when quiet, >= 0.5 once fired."""
+        if not self.fired:
+            return 0.0
+        return min(1.0, 0.5 + (self._stat - self.threshold)
+                   / (6.0 * self.threshold))
+
+    def reset(self) -> None:
+        self.n = 0
+        self.ignored = 0
+        self._stat = 0.0
+
+
+@dataclass(frozen=True)
+class OnlineThresholds:
+    """Every passive-detector knob, in one place (the online analogue
+    of :class:`~repro.diag.engine.Thresholds`).
+
+    Defaults are pinned by ``tests/diag/test_online_detectors.py``; the
+    rationale for each lives in ``docs/DIAGNOSIS.md``.
+    """
+
+    #: Detector warm-up: beacons a link must have delivered before any
+    #: verdict may name it (absence of evidence is not a broken link).
+    min_samples: int = 8
+    #: Ring capacity for the per-expected-beacon loss indicator.
+    window: int = 32
+    #: EWMA alpha shared by the LQI and RSSI level-shift detectors.
+    quality_alpha: float = 0.2
+    quality_k_on: float = 4.0
+    quality_k_off: float = 2.0
+    quality_hysteresis: int = 3
+    #: Scale floors so a dead-quiet baseline cannot make noise-free
+    #: jitter look like a 100-sigma event.
+    lqi_sigma_floor: float = 2.0
+    rssi_sigma_floor: float = 1.5
+    #: CUSUM drift allowance (tolerated ambient loss per beacon) and
+    #: firing mass (net excess lost beacons).
+    loss_slack: float = 0.15
+    loss_threshold: float = 2.0
+    #: Recent-window loss level that upgrades lossy -> broken.
+    broken_loss: float = 0.9
+    #: Missed-interval multiples before a once-healthy link is silent.
+    silence_factor: float = 4.0
+    #: Sequence gaps beyond this are treated as a counter restart
+    #: (reboot), not as that many lost beacons.
+    max_gap: int = 64
+    #: Simultaneously-degraded links on one channel (spanning >= 2
+    #: origins and >= 2 receivers, with no single common endpoint, and
+    #: covering at least ``interference_min_fraction`` of the channel's
+    #: tracked links) escalate to an ``interference`` verdict.  The
+    #: fraction gate separates RF (which degrades essentially every
+    #: link on the channel) from a coincidence of node/link faults
+    #: (which degrades a cluster but leaves the rest clean).
+    interference_min_links: int = 3
+    interference_min_fraction: float = 0.5
+    #: Inter-arrival drift detection: the recent-window mean must sit
+    #: ``drift_z`` standard errors AND ``drift_rel`` (relative) away
+    #: from the *nominal* beacon period — a protocol constant the
+    #: diagnosis tool knows, so a fault can never contaminate the
+    #: reference the way it could a learned baseline.  Beacon jitter is
+    #: ±10 % uniform (σ ≈ 5.8 %): 32 samples put the SE near 1 %, the
+    #: 4-SE gate near 4 %.  A sliding window is re-tested every poll on
+    #: every link, so 4-σ excursions *will* eventually occur; the
+    #: absolute gate is what rejects them — 4.5 % puts the detectable
+    #: skew floor near 5 %, well under the 7.4 % signature of the
+    #: canonical 8 % clock-drift fault.
+    drift_window: int = 32
+    #: Learned-cadence window (feeds silence detection only).
+    baseline_intervals: int = 10
+    drift_z: float = 4.0
+    drift_rel: float = 0.045
+
+
+class _LinkState:
+    """Per directed link (origin -> receiver): all detector state."""
+
+    __slots__ = ("lqi", "rssi", "loss", "loss_window", "intervals",
+                 "baseline_window", "baseline_interval", "last_seq",
+                 "last_heard", "beacons", "channel", "nominal")
+
+    def __init__(self, t: OnlineThresholds, nominal_interval: float):
+        self.lqi = EwmaDetector(
+            alpha=t.quality_alpha, k_on=t.quality_k_on, k_off=t.quality_k_off,
+            hysteresis=t.quality_hysteresis, min_samples=t.min_samples,
+            sigma_floor=t.lqi_sigma_floor, direction="down")
+        self.rssi = EwmaDetector(
+            alpha=t.quality_alpha, k_on=t.quality_k_on, k_off=t.quality_k_off,
+            hysteresis=t.quality_hysteresis, min_samples=t.min_samples,
+            sigma_floor=t.rssi_sigma_floor, direction="down")
+        self.loss = CusumDetector(target=0.0, slack=t.loss_slack,
+                                  threshold=t.loss_threshold)
+        self.loss_window = WindowStats(t.window)
+        self.intervals = WindowStats(t.drift_window)
+        self.baseline_window = WindowStats(t.baseline_intervals)
+        self.baseline_interval: tuple[float, float] | None = None
+        self.last_seq: int | None = None
+        self.last_heard = 0.0
+        self.beacons = 0
+        self.channel: int | None = None
+        self.nominal = float(nominal_interval)
+
+    def observe(self, t: OnlineThresholds, *, seq: int, lqi: float,
+                rssi: float, channel: int | None, now: float) -> None:
+        if channel is not None:
+            self.channel = channel
+        self.beacons += 1
+        if self.last_seq is not None:
+            gap = (seq - self.last_seq) & 0xFFFF
+            if 0 < gap <= t.max_gap:
+                for _ in range(gap - 1):
+                    self.loss.update(1.0)
+                    self.loss_window.push(1.0)
+                self.loss.update(0.0)
+                self.loss_window.push(0.0)
+                interval = (now - self.last_heard) / gap
+                self.intervals.push(interval)
+                if self.baseline_interval is None:
+                    self.baseline_window.push(interval)
+                    if self.baseline_window.full:
+                        self.baseline_interval = (
+                            self.baseline_window.mean,
+                            self.baseline_window.std,
+                        )
+            # gap == 0 (duplicate) or a huge gap (sequence restart after
+            # a reboot): re-anchor without charging phantom losses.
+        self.last_seq = seq
+        self.last_heard = now
+        self.lqi.update(lqi)
+        self.rssi.update(rssi)
+
+    def anchor(self, *, seq: int, channel: int | None, now: float) -> None:
+        """Track sequence/time continuity without feeding detectors.
+
+        Used across masked windows (:meth:`OnlineMonitor.pause`): the
+        beacon is acknowledged — so the masked traffic never shows up
+        later as a phantom sequence gap or a silence — but no loss,
+        quality or interval sample is charged.
+        """
+        if channel is not None:
+            self.channel = channel
+        self.beacons += 1
+        self.last_seq = seq
+        self.last_heard = now
+
+    def expected_interval(self) -> float:
+        if self.baseline_interval is not None and self.baseline_interval[0] > 0:
+            return self.baseline_interval[0]
+        return self.nominal
+
+    def silent_for(self, now: float, floor: float = -math.inf) -> float:
+        """Seconds since last heard, not counting time before ``floor``
+        (the end of the last masked window — silence accrued while the
+        listener's own probes were jamming the channel proves nothing).
+        """
+        return now - max(self.last_heard, floor)
+
+    def is_silent(self, t: OnlineThresholds, now: float,
+                  floor: float = -math.inf) -> bool:
+        return (self.beacons >= t.min_samples
+                and self.silent_for(now, floor)
+                > t.silence_factor * self.expected_interval())
+
+    def drift_ratio(self, t: OnlineThresholds) -> float | None:
+        """Relative inter-arrival shift vs. the nominal period, or None.
+
+        The reference is the *configured* beacon period (a protocol
+        constant, immune to contamination by the fault being hunted),
+        and the shift must clear both a statistical gate (``drift_z``
+        standard errors of the recent-window mean) and an absolute one
+        (``drift_rel``), so ordinary beacon jitter never qualifies.
+        """
+        if self.nominal <= 0 or not self.intervals.full:
+            return None
+        se = max(math.sqrt(self.intervals.variance / self.intervals.count),
+                 1e-6 * self.nominal)
+        shift = self.intervals.mean - self.nominal
+        if (abs(shift) >= t.drift_z * se
+                and abs(shift) / self.nominal >= t.drift_rel):
+            return shift / self.nominal
+        return None
+
+
+class OnlineMonitor:
+    """Sliding-window detectors over the beacon stream -> Findings.
+
+    Construction is inert (no sim access); :meth:`attach` registers a
+    read-only per-beacon tap on the testbed's shared monitor, and
+    :meth:`poll` reduces the accumulated per-link state to canonical
+    :class:`~repro.diag.findings.Finding`s — the passive counterpart of
+    ``DiagnosisEngine.run``, with ``probes_run == 0`` always.
+
+    ``testbed=None`` builds a detached monitor for synthetic-series
+    tests: feed :meth:`observe_beacon` directly and :meth:`poll` with an
+    explicit ``now``.
+
+    Memory is O(tracked links), each link O(1) (fixed ring buffers).
+    """
+
+    def __init__(self, testbed: "Testbed | None" = None, *,
+                 thresholds: OnlineThresholds | None = None,
+                 exclude: _t.Collection[int] = (),
+                 nominal_interval: float = DEFAULT_BEACON_INTERVAL):
+        self.testbed = testbed
+        self.thresholds = thresholds or OnlineThresholds()
+        self.exclude = frozenset(int(n) for n in exclude)
+        self.nominal_interval = float(nominal_interval)
+        self._monitor = testbed.monitor if testbed is not None else None
+        self._links: dict[tuple[int, int], _LinkState] = {}
+        self._attached = False
+        self._paused = False
+        self._anchor_floor = -math.inf
+        self._pause_idx = 0
+        self._c_beacons = None
+        self._last_subjects: set[tuple] = set()
+        self.polls = 0
+        self.beacons_seen = 0
+        self.last_findings: list[Finding] = []
+        self.last_polled_at: float | None = None
+
+    # -- the tap ---------------------------------------------------------
+
+    def attach(self) -> "OnlineMonitor":
+        """Start listening (idempotent).  Requires a testbed."""
+        if self._monitor is None:
+            raise ValueError("cannot attach a detached OnlineMonitor "
+                             "(constructed without a testbed)")
+        if not self._attached:
+            self._monitor.add_beacon_tap(self._tap)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Stop listening (accumulated state is kept)."""
+        if self._attached and self._monitor is not None:
+            self._monitor.remove_beacon_tap(self._tap)
+        self._attached = False
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    def pause(self) -> None:
+        """Mask the detectors (sequence continuity is still tracked).
+
+        The hybrid assessor pauses the listener around its own probe
+        bursts: a few hundred probe packets congest the channel, and
+        the delayed and collided beacons would otherwise read as loss
+        or interference the network did not actually have.  While
+        paused, received beacons only :meth:`~_LinkState.anchor` — and
+        so does the *first* beacon per link after :meth:`resume`, whose
+        gap spans the masked window.  Silence likewise restarts from the
+        mask's end: a link quiet through the mask may simply have lost
+        its beacons to the probe congestion, so it must re-earn its
+        silence verdict afterwards (a genuinely dead node does, a few
+        beacon intervals later).
+        """
+        if not self._paused:
+            self._paused = True
+            self._pause_idx = (len(self._monitor.packets)
+                               if self._monitor is not None else 0)
+
+    def resume(self, now: float | None = None) -> None:
+        """Unmask the detectors (see :meth:`pause`).
+
+        If *no probe packet actually got on the air* during the masked
+        window, the mask is void: whatever kept beacons off the channel
+        was not our doing (e.g. an interference burst that made CCA
+        read busy fleet-wide), so the accrued silence is genuine
+        evidence and keeps aging.
+        """
+        if not self._paused:
+            return
+        self._paused = False
+        if self._monitor is not None and not any(
+                r.kind in PROBE_PACKET_KINDS
+                for r in self._monitor.packets[self._pause_idx:]):
+            return
+        if now is None:
+            if self.testbed is None:
+                raise ValueError("detached OnlineMonitor needs an "
+                                 "explicit now=")
+            now = self.testbed.env.now
+        self._anchor_floor = float(now)
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def _tap(self, receiver: int, origin: int, seq: int,
+             arrival: "FrameArrival") -> None:
+        if receiver in self.exclude or origin in self.exclude:
+            return
+        self.observe_beacon(receiver, origin, seq=seq,
+                            lqi=float(arrival.lqi), rssi=float(arrival.rssi),
+                            channel=arrival.channel, now=arrival.time)
+
+    # -- ingestion -------------------------------------------------------
+
+    def observe_beacon(self, receiver: int, origin: int, *, seq: int,
+                       lqi: float, rssi: float, channel: int | None = None,
+                       now: float) -> None:
+        """Feed one received beacon (the tap's entry point; synthetic
+        tests call it directly)."""
+        key = (int(origin), int(receiver))
+        state = self._links.get(key)
+        if state is None:
+            state = self._links[key] = _LinkState(self.thresholds,
+                                                  self.nominal_interval)
+        if self._paused or state.last_heard < self._anchor_floor:
+            state.anchor(seq=int(seq), channel=channel, now=float(now))
+        else:
+            state.observe(self.thresholds, seq=int(seq), lqi=float(lqi),
+                          rssi=float(rssi), channel=channel, now=float(now))
+        self.beacons_seen += 1
+        if self._monitor is not None:
+            c = self._c_beacons
+            if c is None:
+                c = self._c_beacons = self._monitor.counter_obj(
+                    "diag.online.beacons")
+            c.value += 1
+
+    # -- reduction -------------------------------------------------------
+
+    @property
+    def links_tracked(self) -> int:
+        return len(self._links)
+
+    def poll(self, now: float | None = None) -> list[Finding]:
+        """Reduce accumulated link state to findings, as of ``now``.
+
+        Pure read: never advances the sim or consumes RNG.  Counter
+        ``diag.online.finding.<kind>`` increments only for subjects not
+        already named at the previous poll, so long-lived faults count
+        once, not once per poll.
+        """
+        if now is None:
+            if self.testbed is None:
+                raise ValueError("detached OnlineMonitor needs an "
+                                 "explicit now=")
+            now = self.testbed.env.now
+        t = self.thresholds
+        ordered = sorted(self._links)
+        silent: set[tuple[int, int]] = set()
+        lossy: set[tuple[int, int]] = set()
+        link_findings: dict[tuple[int, int], Finding] = {}
+        for key in ordered:
+            st = self._links[key]
+            if st.beacons < t.min_samples:
+                continue
+            if st.is_silent(t, now, self._anchor_floor):
+                silent.add(key)
+                gone = st.silent_for(now, self._anchor_floor)
+                missed = gone / st.expected_interval()
+                link_findings[key] = Finding(
+                    kind="broken_link", link=key,
+                    confidence=min(0.95, 0.5 + 0.05
+                                   * (missed - t.silence_factor)),
+                    summary=(f"no beacons for {gone:.1f} s "
+                             f"(~{missed:.0f} expected)"),
+                    evidence={"silent_s": gone,
+                              "expected_interval_s": st.expected_interval(),
+                              "beacons_seen": st.beacons},
+                )
+            elif st.loss.fired:
+                lossy.add(key)
+                level = st.loss_window.mean
+                kind = ("broken_link" if level >= t.broken_loss
+                        else "lossy_link")
+                link_findings[key] = Finding(
+                    kind=kind, link=key,
+                    confidence=max(st.loss.confidence,
+                                   min(1.0, level / t.broken_loss)),
+                    summary=(f"{level:.0%} of expected beacons missing "
+                             f"(seq gaps)"),
+                    evidence={"recent_loss": level,
+                              "cusum": st.loss.statistic,
+                              "beacons_seen": st.beacons},
+                )
+            elif st.lqi.fired or st.rssi.fired:
+                if st.lqi.fired and (not st.rssi.fired
+                                     or st.lqi.shift >= st.rssi.shift):
+                    det, metric = st.lqi, "lqi"
+                else:
+                    det, metric = st.rssi, "rssi"
+                link_findings[key] = Finding(
+                    kind="lossy_link", link=key, confidence=det.confidence,
+                    summary=(f"beacon {metric} fell {det.shift:.1f} sigma "
+                             f"below its baseline"),
+                    evidence={"metric": metric, "baseline": det.mean,
+                              "shift_sigma": det.shift,
+                              "beacons_seen": st.beacons},
+                )
+        findings: list[Finding] = []
+        explained: set[tuple[int, int]] = set()
+        affected = silent | lossy
+        by_channel: dict[int, list[tuple[int, int]]] = {}
+        for key in sorted(affected):
+            ch = self._links[key].channel
+            if ch is not None:
+                by_channel.setdefault(ch, []).append(key)
+        for ch in sorted(by_channel):
+            group = by_channel[ch]
+            origins = {a for a, _ in group}
+            receivers = {b for _, b in group}
+            on_channel = sum(
+                1 for st in self._links.values()
+                if st.channel == ch and st.beacons >= t.min_samples)
+            if (len(group) < t.interference_min_links
+                    or len(origins) < 2 or len(receivers) < 2
+                    or len(group) < t.interference_min_fraction
+                    * on_channel):
+                continue
+            if any(all(n in key for key in group)
+                   for n in origins | receivers):
+                continue  # one common endpoint: a node problem, not RF
+            findings.append(Finding(
+                kind="interference", channel=ch, node=min(receivers),
+                confidence=min(0.95, 0.4 + 0.55 * len(group)
+                               / max(1, on_channel)),
+                summary=(f"{len(group)}/{on_channel} links on channel "
+                         f"{ch} degraded simultaneously"),
+                evidence={"links_degraded": len(group),
+                          "links_on_channel": on_channel,
+                          "origins": sorted(origins)},
+            ))
+            explained.update(group)
+        dead: set[int] = set()
+        out_links: dict[int, list[tuple[int, int]]] = {}
+        for key in ordered:
+            if self._links[key].beacons >= t.min_samples:
+                out_links.setdefault(key[0], []).append(key)
+        for origin in sorted(out_links):
+            links = out_links[origin]
+            if (all(key in silent for key in links)
+                    and not any(key in explained for key in links)):
+                dead.add(origin)
+                worst = max(
+                    self._links[key].silent_for(now, self._anchor_floor)
+                    / self._links[key].expected_interval()
+                    for key in links)
+                findings.append(Finding(
+                    kind="dead_node", node=origin,
+                    confidence=min(0.95, 0.5 + 0.05
+                                   * (worst - t.silence_factor)),
+                    summary=(f"beacons stopped at all {len(links)} "
+                             f"receiver(s) that were hearing it"),
+                    evidence={"receivers": sorted(b for _, b in links),
+                              "missed_intervals": worst},
+                ))
+        surviving: dict[tuple[int, int], Finding] = {}
+        for key in ordered:
+            finding = link_findings.get(key)
+            if finding is None or key in explained:
+                continue
+            if key[0] in dead or key[1] in dead:
+                continue  # symptom of the dead node, already named
+            surviving[key] = finding
+        for key in sorted(surviving):
+            finding = surviving[key]
+            mirror = surviving.get((key[1], key[0]))
+            if mirror is not None:
+                # Both directions degraded: one undirected verdict on
+                # the canonical (low, high) pair, at the worse severity.
+                if key[0] > key[1]:
+                    continue
+                if (FINDING_KINDS.index(mirror.kind)
+                        < FINDING_KINDS.index(finding.kind)
+                        or (mirror.kind == finding.kind
+                            and mirror.confidence > finding.confidence)):
+                    finding = Finding(
+                        kind=mirror.kind, link=key,
+                        confidence=mirror.confidence,
+                        summary=mirror.summary, evidence=mirror.evidence)
+            findings.append(finding)
+        drift_by_origin: dict[int, list[float]] = {}
+        for key in ordered:
+            if key[0] in dead or key in explained:
+                continue
+            ratio = self._links[key].drift_ratio(t)
+            if ratio is not None:
+                drift_by_origin.setdefault(key[0], []).append(ratio)
+        for origin in sorted(drift_by_origin):
+            ratios = drift_by_origin[origin]
+            mean_ratio = sum(ratios) / len(ratios)
+            findings.append(Finding(
+                kind="hotspot", node=origin,
+                confidence=min(0.95, 0.5 + 5.0 * abs(mean_ratio)),
+                summary=(f"beacon interval shifted {mean_ratio:+.1%} vs "
+                         f"baseline - local clock drifting"),
+                evidence={"interval_shift": mean_ratio,
+                          "links_agreeing": len(ratios)},
+            ))
+        findings.sort(key=Finding.sort_key)
+        self._account(findings, now)
+        return findings
+
+    def _account(self, findings: list[Finding], now: float) -> None:
+        self.polls += 1
+        self.last_findings = findings
+        self.last_polled_at = now
+        if self._monitor is None:
+            subjects = {(f.kind, f.node, f.link, f.channel)
+                        for f in findings}
+            self._last_subjects = subjects
+            return
+        self._monitor.count("diag.online.polls")
+        subjects = set()
+        tracer = self.testbed.tracer if self.testbed is not None else None
+        for f in findings:
+            subject = (f.kind, f.node, f.link, f.channel)
+            subjects.add(subject)
+            if subject in self._last_subjects:
+                continue
+            self._monitor.count("diag.online.findings")
+            self._monitor.count(f"diag.online.finding.{f.kind}")
+            if tracer is not None and tracer.enabled:
+                tracer.emit("diag.online.finding", now,
+                            node=f.node, kind_label=f.kind,
+                            subject=f.subject,
+                            confidence=round(f.confidence, 3))
+        self._last_subjects = subjects
+
+    def report(self, now: float | None = None) -> DiagnosisReport:
+        """A :class:`DiagnosisReport` from the current state: the
+        passive analogue of ``DiagnosisEngine.run`` (zero probes)."""
+        findings = self.poll(now)
+        at = self.last_polled_at if self.last_polled_at is not None else 0.0
+        return DiagnosisReport(findings=findings, started_at=at,
+                               finished_at=at, probes_run=0,
+                               probes_failed=0)

@@ -250,12 +250,17 @@ class NeighborTable:
                 return
             if type(payload) is bytes:
                 _beacon_memo = (payload, x, y, name)
+        monitor = self.node.monitor
         c = self._c_received
         if c is None:
-            c = self._c_received = self.node.monitor.counter_obj(
+            c = self._c_received = monitor.counter_obj(
                 "neighbors.beacons_received")
         c.value += 1
         self._update(packet.origin, name, (x, y), packet.seq, arrival)
+        taps = monitor.beacon_taps
+        if taps:
+            for tap in taps:
+                tap(self.node.id, packet.origin, packet.seq, arrival)
 
     def _update(self, node_id: int, name: str,
                 position: tuple[float, float], seq: int,

@@ -14,6 +14,7 @@ See ``docs/SERVING.md`` for endpoint and event schemas.
 from repro.serve.app import ServeApp
 from repro.serve.fleet import FleetSupervisor, build_fleet
 from repro.serve.health import (
+    ASSESSMENT_MODES,
     MAX_WATCHLIST,
     HealthAssessor,
     nearest_neighbor_links,
@@ -26,6 +27,7 @@ __all__ = [
     "FleetSupervisor",
     "build_fleet",
     "HealthAssessor",
+    "ASSESSMENT_MODES",
     "MAX_WATCHLIST",
     "nearest_neighbor_links",
     "EventHub",

@@ -88,6 +88,7 @@ class FleetSupervisor:
             "ticks": self.ticks,
             "assess_every": self.assess_every,
             "assessments": self.assessor.assessments,
+            "mode": getattr(self.assessor, "mode", "active"),
             "status": str(self.health_payload.get("status", "pending")),
             "injected_plans": len(self.injected_plans),
         }
@@ -219,6 +220,7 @@ def build_fleet(spec: str = "field", *, seed: int = 3,
                 hub: EventHub | None = None,
                 publish_trace: bool = True,
                 fault_plan: "FaultPlan | str | None" = None,
+                mode: str = "active",
                 ) -> FleetSupervisor:
     """One-call fleet construction from a topology spec.
 
@@ -236,6 +238,12 @@ def build_fleet(spec: str = "field", *, seed: int = 3,
     even-stride subsample; default :data:`~repro.serve.health.MAX_WATCHLIST`,
     which leaves the paper-scale fleets unclamped) — pass ``None`` to
     probe every nearest-neighbor link even on a city-scale fleet.
+
+    ``mode`` selects how assessments gather evidence
+    (:data:`~repro.serve.health.ASSESSMENT_MODES`): ``passive``
+    assessments read the beacon-stream detectors and inject zero probe
+    packets, so a passive fleet's packet digest is byte-identical to an
+    unserved run of the same spec/seed/horizon.
     """
     import math
 
@@ -269,7 +277,7 @@ def build_fleet(spec: str = "field", *, seed: int = 3,
                          "or 'chain:K')")
     deployment = deploy_liteview(testbed, warm_up=warm_up)
     assessor = HealthAssessor(deployment, links=links, rounds=rounds,
-                              max_links=max_links)
+                              max_links=max_links, mode=mode)
     supervisor = FleetSupervisor(
         name=name or spec.replace(":", ""), deployment=deployment,
         assess_every=assess_every, assessor=assessor, hub=hub,

@@ -21,13 +21,21 @@ import typing as _t
 import numpy as np
 
 from repro.diag.engine import DiagnosisEngine, ProbePlan, Thresholds
+from repro.diag.findings import DiagnosisReport
+from repro.diag.online import OnlineMonitor, OnlineThresholds, merge_findings
 from repro.diag.render import health_view
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.diag.findings import DiagnosisReport
     from repro.kernel.testbed import Testbed
 
-__all__ = ["HealthAssessor", "nearest_neighbor_links", "MAX_WATCHLIST"]
+__all__ = ["HealthAssessor", "nearest_neighbor_links", "MAX_WATCHLIST",
+           "ASSESSMENT_MODES"]
+
+#: How an assessment gathers its evidence: ``active`` probes the
+#: watchlist (the paper's workflow), ``passive`` only reads the online
+#: beacon detectors (zero probe packets), ``hybrid`` does both and
+#: merges, deduplicating by subject.
+ASSESSMENT_MODES = ("active", "passive", "hybrid")
 
 #: Default cap on the auto-generated watchlist (``build_fleet`` passes it
 #: as ``max_links``).  Nearest-neighbor watchlists grow O(N) with fleet
@@ -83,6 +91,14 @@ class HealthAssessor:
     world, which is what keeps served runs reproducible), and
     :meth:`health` renders the most recent report without touching the
     sim at all.
+
+    ``mode`` selects the evidence source (:data:`ASSESSMENT_MODES`):
+    ``passive`` assessments read the :class:`~repro.diag.online.
+    OnlineMonitor`'s beacon detectors instead of probing — they send
+    zero packets, consume zero simulated time, and leave the packet
+    digest byte-identical to an unserved run; ``hybrid`` runs the probe
+    plan *and* merges in passive findings about subjects the probes did
+    not already name.
     """
 
     def __init__(self, deployment, *,
@@ -90,7 +106,13 @@ class HealthAssessor:
                  scans: _t.Iterable[int] = (),
                  rounds: int = 3,
                  max_links: int | None = None,
-                 thresholds: Thresholds | None = None):
+                 thresholds: Thresholds | None = None,
+                 mode: str = "active",
+                 online_thresholds: OnlineThresholds | None = None):
+        if mode not in ASSESSMENT_MODES:
+            raise ValueError(f"unknown assessment mode {mode!r} "
+                             f"(one of {ASSESSMENT_MODES})")
+        self.mode = mode
         self.deployment = deployment
         self.testbed = deployment.testbed
         # The workstation is a management device riding in the testbed,
@@ -112,6 +134,11 @@ class HealthAssessor:
         self.plan = ProbePlan(links=links, scans=tuple(scans),
                               rounds=rounds)
         self.engine = DiagnosisEngine(deployment, thresholds=thresholds)
+        self.online: OnlineMonitor | None = None
+        if mode != "active":
+            self.online = OnlineMonitor(
+                self.testbed, thresholds=online_thresholds,
+                exclude=self._excluded).attach()
         self.last_report: "DiagnosisReport | None" = None
         self.last_assessed_at: float | None = None
         self.assessments = 0
@@ -126,12 +153,36 @@ class HealthAssessor:
                      if node.id not in self._excluded)
 
     def assess(self) -> "DiagnosisReport":
-        """Run the watchlist plan now; returns (and stores) the report."""
-        report = self.engine.run(self.plan)
+        """Run one assessment now; returns (and stores) the report.
+
+        ``active`` runs the watchlist probe plan (advancing the sim by
+        the probe traffic's duration); ``passive`` polls the online
+        detectors (no sim advance, no packets); ``hybrid`` does both
+        and merges passive findings whose subject the probes missed.
+        """
+        if self.mode == "passive":
+            report = self.online.report()
+        else:
+            if self.online is not None:
+                # Mask the listener while our own probes congest the
+                # channel — self-inflicted beacon delays must not read
+                # as loss or interference (see OnlineMonitor.pause).
+                self.online.pause()
+            report = self.engine.run(self.plan)
+            if self.online is not None:
+                self.online.resume()
+                self._merge_passive(report)
         self.last_report = report
         self.last_assessed_at = self.testbed.env.now
         self.assessments += 1
         return report
+
+    def _merge_passive(self, report: "DiagnosisReport") -> None:
+        """Fold passive findings into an active report, subject-deduped
+        (a passive ``broken_link`` must not double-name a pair the
+        probes already called ``lossy_link``)."""
+        report.findings[:] = merge_findings(report.findings,
+                                            self.online.poll())
 
     def health(self, **extra: object) -> dict:
         """The traffic-light payload for the *latest* report.
@@ -142,6 +193,7 @@ class HealthAssessor:
         if self.last_report is None:
             return {
                 "status": "pending",
+                "mode": self.mode,
                 "assessments": 0,
                 "sim_time": round(self.testbed.env.now, 6),
                 **extra,
@@ -153,6 +205,7 @@ class HealthAssessor:
             sim_time=self.testbed.env.now,
             assessed_at=self.last_assessed_at,
         )
+        view["mode"] = self.mode
         view["assessments"] = self.assessments
         view.update(extra)
         return view

@@ -76,6 +76,29 @@ class Monitor:
         # frame); dropped on reset() together with the registry contents.
         self._counter_memo: dict[str, Counter] = {}
         self._histogram_memo: dict[str, Histogram] = {}
+        #: Read-only per-beacon listeners (``repro.diag.online``), called
+        #: as ``tap(receiver_id, origin_id, seq, arrival)`` on every
+        #: decoded beacon reception.  A tuple so the disabled check in
+        #: the kernel hot path is one attribute read + truth test, and
+        #: so iteration never races a registration.
+        self.beacon_taps: tuple = ()
+
+    # -- beacon taps -----------------------------------------------------------
+
+    def add_beacon_tap(self, tap: _t.Callable) -> None:
+        """Register a per-beacon listener (idempotent).
+
+        Taps must be read-only with respect to the simulation: they may
+        not send packets, schedule events or draw randomness — the
+        determinism suite asserts that attaching one leaves the packet
+        digest unchanged.
+        """
+        if tap not in self.beacon_taps:
+            self.beacon_taps = (*self.beacon_taps, tap)
+
+    def remove_beacon_tap(self, tap: _t.Callable) -> None:
+        """Unregister a per-beacon listener (no-op if absent)."""
+        self.beacon_taps = tuple(t for t in self.beacon_taps if t is not tap)
 
     # -- counters ------------------------------------------------------------
 

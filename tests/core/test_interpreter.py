@@ -138,3 +138,41 @@ def test_command_on_out_of_range_node_reports_error(chain_deployment):
     dep.run("cd far")
     out = dep.run("power")
     assert out.startswith("error:")
+
+
+def test_watch_is_passive_and_names_a_dead_node(chain_deployment):
+    """`watch` listens to beacons and diagnoses without one probe packet:
+    the report itself says 0 probes, and the control-traffic counter
+    proves the shell sent nothing while watching."""
+    from repro.faults import FaultPlan, FaultSpec, install_faults
+
+    dep = logged_in(chain_deployment, 4, seed=4)
+    assert "never been enabled" in dep.run("watch report")
+    assert "listening" in dep.run("watch on")
+    # Crash after the listener's per-link cadence baselines settle
+    # (watch starts at t=15; baselines need ~10 beacon intervals).
+    install_faults(dep.testbed, FaultPlan(name="t", specs=(
+        FaultSpec(kind="node_crash", at=45.0, nodes=(4,)),)))
+    sent_before = len(dep.testbed.monitor.packets)
+    dep.testbed.run(until=80.0)
+    out = dep.run("watch report")
+    assert "0 probes sent" in out and "beacons heard" in out
+    assert "dead_node" in out
+    assert "Ran 0 probe(s)" in out
+    # Everything transmitted while watching was the network's own
+    # background traffic — the watch added nothing.
+    kinds = {r.kind for r in dep.testbed.monitor.packets[sent_before:]}
+    assert kinds <= {"beacon", "advert"}
+    assert dep.interpreter.last_report is not None
+
+
+def test_watch_off_keeps_the_report_and_help_mentions_watch(
+        chain_deployment):
+    dep = logged_in(chain_deployment)
+    dep.run("watch on")
+    dep.testbed.run(until=30.0)
+    assert "disabled" in dep.run("watch off")
+    assert "beacons heard" in dep.run("watch")      # state survives off
+    assert "watch on|off|report" in dep.run("help")
+    with pytest.raises(ParameterError):
+        dep.run("watch sideways")
