@@ -1,0 +1,144 @@
+"""Per-move invalidation cost: flat in total node count.
+
+Not a paper experiment — the perf gate for the time-varying-geometry
+refactor.  Before per-node position epochs, one ``node.position``
+assignment bumped the global ``_topo_version``: every sender's
+candidate index and every cached mean-loss row died, so continuous
+motion at city scale degenerated back to the dense O(N²) regime.  The
+refactor's contract is that a move costs O(local density) — two grid
+neighborhood queries plus an epoch bump per affected neighbor — no
+matter how many nodes the deployment holds.
+
+``test_per_move_cost_flat_across_tiers`` measures the raw per-move
+cost on the 30-node field, the 100-node field and the ~1040-node city
+(warm caches, real deployed traffic) and asserts the city move does
+not scale with N: on the *compact* fields every node is a range
+neighbor (local density == N), while a city mover sees only its own
+district (~40–50), so dense-regime behaviour would make the city move
+~10x the 100-node move and the epoch scheme keeps it at or below it.
+Recorded in ``BENCH_simulator.json`` as ``mobility_move_cost_us_*``.
+
+``test_mobile_city_minute`` deploys the city with two waypoint patrols
+crossing it and asserts a minute of continuous motion keeps >90% of
+receivers pruned — motion must not collapse the spatial index.
+"""
+
+import time
+
+from repro.core.deploy import deploy_liteview
+from repro.radio import MobilityPlan, MobilitySpec, install_mobility
+from repro.workloads import (
+    hundred_node_field,
+    thirty_node_field,
+    thousand_node_city,
+)
+
+#: The city move may cost at most this multiple of the *larger* compact
+#: field's move (generous: shared hardware jitters; dense-regime
+#: behaviour would blow through it by an order of magnitude).
+MAX_CITY_FACTOR = 3.0
+
+#: Moves timed per tier (amortises call_at/grid constants).
+MOVES = 2000
+
+
+def _warm(testbed):
+    """Deploy and run long enough that grids and caches are all warm."""
+    deploy_liteview(testbed, warm_up=5.0)
+    return testbed
+
+
+def _per_move_cost_s(testbed, node_id=2):
+    """Mean wall cost of one small position assignment, caches warm."""
+    node = testbed.node(node_id)
+    x, y = node.position
+    # One throwaway move so lazy counters/handles exist before timing.
+    node.position = (x + 0.25, y)
+    start = time.perf_counter()
+    for k in range(MOVES):
+        node.position = (x + 0.5 * ((k & 1) == 0), y)
+    elapsed = time.perf_counter() - start
+    node.position = (x, y)
+    return elapsed / MOVES
+
+
+def test_per_move_cost_flat_across_tiers(benchmark, record_metric, report):
+    tiers = {
+        30: _warm(thirty_node_field(seed=2)),
+        100: _warm(hundred_node_field(seed=3)),
+        1040: _warm(thousand_node_city(seed=5)),
+    }
+    costs = {n: _per_move_cost_s(tb) for n, tb in tiers.items()}
+
+    compact = max(costs[30], costs[100])
+    factor = costs[1040] / compact
+    for n, cost in costs.items():
+        record_metric(f"mobility_move_cost_us_{n}", cost * 1e6,
+                      moves=MOVES)
+    record_metric("mobility_move_city_vs_compact_factor", factor,
+                  budget=MAX_CITY_FACTOR)
+    report(
+        "mobility_move_cost",
+        "\n".join([
+            "per-move invalidation cost (warm caches, small moves)",
+            *(f"  {n:>5}-node tier        {cost * 1e6:8.2f} us/move"
+              for n, cost in costs.items()),
+            f"  city / compact factor  {factor:8.2f}"
+            f"  (budget {MAX_CITY_FACTOR:.1f})",
+        ]),
+    )
+    # Timing for BENCH_simulator.json: the city-tier move itself.
+    city = tiers[1040]
+    benchmark.pedantic(lambda: _per_move_cost_s(city),
+                       rounds=3, iterations=1)
+    # The contract: 10x the nodes must NOT mean 10x the move cost.  The
+    # city mover touches ~40-50 district neighbors; the compact fields
+    # touch all 30/100 — so a flat-or-better city move proves per-node
+    # epochs, and a dense-regime regression fails by an order of
+    # magnitude, far past any hardware jitter.
+    assert factor < MAX_CITY_FACTOR, (
+        f"city per-move cost is {factor:.1f}x the compact-field move "
+        f"(budget {MAX_CITY_FACTOR}): invalidation is scaling with N")
+
+
+def test_mobile_city_minute(benchmark, record_metric, report):
+    """A city minute with two cross-city patrols: pruning must hold."""
+
+    def run():
+        testbed = thousand_node_city(seed=5)
+        width = 4 * 1500.0
+        patrol_a = testbed.add_node("patrol-a", (-80.0, 30.0)).id
+        patrol_b = testbed.add_node("patrol-b", (width + 80.0, 1530.0)).id
+        install_mobility(testbed, MobilityPlan(name="city-cross", specs=(
+            MobilitySpec(kind="waypoint", at=2.0, nodes=(patrol_a,),
+                         waypoints=((56.0, width + 80.0, 30.0),)),
+            MobilitySpec(kind="waypoint", at=2.0, nodes=(patrol_b,),
+                         waypoints=((56.0, -80.0, 1530.0),)),
+        )))
+        deploy_liteview(testbed, warm_up=60.0)
+        medium = testbed.medium
+        total = medium.candidates_considered + medium.candidates_pruned
+        return (testbed.monitor.counter("mobility.updates"),
+                testbed.monitor.counter("medium.repositions"),
+                medium.candidates_pruned / total)
+
+    if getattr(benchmark, "disabled", False):
+        updates, repositions, pruned = run()  # CI smoke: correctness only
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    else:
+        updates, repositions, pruned = benchmark.pedantic(
+            run, rounds=3, iterations=1)
+        record_metric("mobile_city_pruned_fraction", pruned,
+                      updates=updates)
+        report(
+            "mobility_city_minute",
+            "\n".join([
+                "1k-city minute with two cross-city patrols",
+                f"  mobility updates       {updates:8d}",
+                f"  medium repositions     {repositions:8d}",
+                f"  receivers pruned       {pruned * 100:8.2f} %",
+            ]),
+        )
+    assert updates >= 112  # two patrols, ~56 ticks each
+    assert repositions >= updates
+    assert pruned > 0.90  # motion did not collapse the spatial index

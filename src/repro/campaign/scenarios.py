@@ -323,6 +323,96 @@ def detection_sweep(seed: int, *, fault_kind: str = "link_degrade",
     return testbed, values
 
 
+@scenario("mobile_city_survey")
+def mobile_city_survey(seed: int, *, districts_x: int = 4,
+                       districts_y: int = 3, per_district: int = 9,
+                       patrols: int = 2, speed_mps: float = 12.0,
+                       seconds: float = 60.0, mobility_plan: object = None,
+                       rounds: int = 6, length: int = 16,
+                       pitch: float = 1500.0, partitioned: bool = False):
+    """Patrol nodes traversing a city while diagnosis runs: the
+    churn-vs-fault discrimination cell.
+
+    ``patrols`` surveyor nodes walk the full width of a
+    ``districts_x × districts_y`` city at ``speed_mps`` (or follow an
+    explicit ``mobility_plan`` — canonical JSON, a first-class campaign
+    parameter like fault plans).  Mid-patrol, the diagnosis engine
+    probes static intra-district links the surveyors pass through.  No
+    fault is injected, so *every* finding is a false positive; the
+    recorded precision baseline asserts that mobility-induced link
+    churn is not misreported as ``link_degrade``-style faults
+    (``link_findings`` — broken/lossy/asymmetric — should be 0).
+
+    Values also record how much geometry actually changed
+    (``mobility_updates``, ``repositions``) and the spatial-pruning
+    fraction, proving motion did not degrade candidate pruning back to
+    the dense regime.
+    """
+    from repro.core.deploy import deploy_liteview
+    from repro.diag import DiagnosisEngine, ProbePlan, score_findings
+    from repro.faults import FaultPlan
+    from repro.radio import MobilityPlan, MobilitySpec, install_mobility
+    from repro.workloads import build_city
+    from repro.workloads.scenarios import QUIET_PROPAGATION
+
+    testbed = build_city(int(districts_x), int(districts_y),
+                         int(per_district), pitch=pitch, seed=seed,
+                         propagation_kwargs=QUIET_PROPAGATION,
+                         partitioned=bool(partitioned))
+    width = (int(districts_x) - 1) * pitch + 240.0
+    patrol_ids = []
+    for k in range(int(patrols)):
+        row = k % int(districts_y)
+        y = row * pitch + 40.0 + 12.0 * k
+        patrol_ids.append(testbed.add_node(f"patrol-{k}", (-60.0, y)).id)
+    if mobility_plan is None:
+        travel = width / float(speed_mps)
+        plan = MobilityPlan(name="city-patrol", specs=tuple(
+            MobilitySpec(kind="waypoint", at=15.0, nodes=(nid,),
+                         waypoints=((travel, width - 60.0,
+                                     (k % int(districts_y)) * pitch
+                                     + 40.0 + 12.0 * k),))
+            for k, nid in enumerate(patrol_ids)))
+    else:
+        plan = MobilityPlan.from_param(mobility_plan)
+    driver = install_mobility(testbed, plan)
+    dep = deploy_liteview(testbed, warm_up=15.0)
+    # Advance to mid-patrol, then probe while the churn is live.
+    testbed.run(until=15.0 + float(seconds) / 2.0)
+    diag_start = testbed.env.now
+    # Probe static links with comfortable geometry (well inside the
+    # quiet-propagation range): losses on these can only come from the
+    # patrol churn, never from marginal static placement.
+    pairs = tuple(
+        (i, i + 1) for i in range(1, int(per_district))
+        if testbed.medium.distance(i, i + 1) <= 70.0)
+    report = DiagnosisEngine(dep).run(
+        ProbePlan(links=pairs, rounds=int(rounds), length=int(length)))
+    end = 15.0 + float(seconds)
+    if testbed.env.now < end:
+        testbed.run(until=end)
+    # Ground truth is the empty plan: every finding is a false positive.
+    score = score_findings(report.findings, FaultPlan(enabled=False),
+                           at=diag_start)
+    monitor = testbed.monitor
+    medium = testbed.medium
+    pruned = medium.candidates_pruned
+    total = medium.candidates_considered + pruned
+    link_kinds = ("broken_link", "lossy_link", "asymmetric_link")
+    return testbed, {
+        "patrol_ids": list(patrol_ids),
+        "moved_nodes": len(driver.updates) if driver else 0,
+        "mobility_updates": monitor.counter("mobility.updates"),
+        "repositions": monitor.counter("medium.repositions"),
+        "pruned_fraction": (pruned / total) if total else 0.0,
+        "n_findings": len(report.findings),
+        "link_findings": sum(1 for f in report.findings
+                             if f.kind in link_kinds),
+        "false_positives": score["fp"],
+        "findings": [f.to_dict() for f in report.findings],
+    }
+
+
 @scenario("fig5_traceroute")
 def fig5_traceroute(seed: int, *, attempts: int = 6, length: int = 32):
     """Figure 5 — one 'typical experiment': the first traceroute over the

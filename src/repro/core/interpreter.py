@@ -171,7 +171,8 @@ class CommandInterpreter:
                 "beacons, sends zero probes)\n"
                 "observability: stats [prefix] (metrics snapshot, "
                 "e.g. stats mac. or stats medium. for the "
-                "candidate-pruning gauges) | "
+                "candidate-pruning and geometry gauges — repositions, "
+                "idx.rebuilds, rows.rebuilt) | "
                 "trace on|off|last|<origin:port:seq> (packet lifecycle) | "
                 "profile on|off|report (event-loop hotspots)"
                 + ("\nneighborhood mode: list blacklist update exit"

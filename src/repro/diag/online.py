@@ -34,6 +34,7 @@ and the determinism suite assert.
 from __future__ import annotations
 
 import math
+import sys
 import typing as _t
 from dataclasses import dataclass
 
@@ -100,6 +101,19 @@ def merge_findings(primary: _t.Iterable[Finding],
         merged = [f for f in merged if f.kind != "dead_node"]
     merged.sort(key=Finding.sort_key)
     return merged
+
+
+def _clamp_finite(x: float) -> float:
+    """Pull an overflowed (infinite) intermediate back to the finite
+    float range; finite inputs pass through untouched.  Two finite
+    samples at opposite ends of the double range make ``a - b``
+    overflow, and a detector's state must stay finite regardless of
+    what the series feeds it."""
+    if x > sys.float_info.max:
+        return sys.float_info.max
+    if x < -sys.float_info.max:
+        return -sys.float_info.max
+    return x
 
 
 class WindowStats:
@@ -234,7 +248,7 @@ class EwmaDetector:
     def _excess(self, value: float) -> float:
         """Signed deviation in sigma units, oriented by ``direction``."""
         sigma = max(self.dev, self.sigma_floor)
-        z = (value - self.mean) / sigma
+        z = _clamp_finite(_clamp_finite(value - self.mean) / sigma)
         if self.direction == "down":
             return -z
         if self.direction == "up":
@@ -243,8 +257,9 @@ class EwmaDetector:
 
     def _absorb(self, value: float) -> None:
         a = self.alpha
-        self.dev = (1 - a) * self.dev + a * abs(value - self.mean)
-        self.mean = (1 - a) * self.mean + a * value
+        diff = _clamp_finite(abs(value - self.mean))
+        self.dev = _clamp_finite((1 - a) * self.dev + a * diff)
+        self.mean = _clamp_finite((1 - a) * self.mean + a * value)
 
     def update(self, value: float) -> bool:
         """Feed one sample; returns the (possibly new) fired state."""

@@ -21,6 +21,17 @@ from repro.radio.medium import (
     RadioMedium,
     Transceiver,
 )
+from repro.radio.mobility import (
+    MOBILITY_KINDS,
+    LinearDrift,
+    MobilityDriver,
+    MobilityModel,
+    MobilityPlan,
+    MobilitySpec,
+    RandomWaypoint,
+    Waypoint,
+    install_mobility,
+)
 from repro.radio.partition import PartitionedMedium
 from repro.radio.modulation import (
     bit_error_rate,
@@ -58,6 +69,15 @@ __all__ = [
     "LQI_MAX",
     "RadioMedium",
     "PartitionedMedium",
+    "MOBILITY_KINDS",
+    "MobilitySpec",
+    "MobilityPlan",
+    "MobilityModel",
+    "LinearDrift",
+    "Waypoint",
+    "RandomWaypoint",
+    "MobilityDriver",
+    "install_mobility",
     "SpatialGrid",
     "RANGE_MARGIN_SIGMAS",
     "Transceiver",

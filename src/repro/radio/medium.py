@@ -34,6 +34,25 @@ keeps
   static shadowing — invalidated by the propagation model's shadowing
   epoch, so pinned links take effect;
 
+Time-varying geometry
+---------------------
+Invalidation after a move is *per node*, not global.  A
+``Transceiver.position`` assignment moves one grid bucket entry and
+bumps the *neighborhood epoch* of exactly the nodes whose candidate
+membership the move could have changed: those within the conservative
+range bound of the old **or** the new position (two grid queries, so the
+work is O(local density), independent of the total node count — the
+contract ``benchmarks/bench_mobility.py`` holds).  A sender outside both
+disks keeps its cached candidate index *and* its cached mean-loss row;
+an affected sender rebuilds both on its next transmission.  A row
+rebuild whose shadowing links were all drawn before consumes no RNG
+(see :meth:`LogDistancePropagation.shadowing_row`), so per-node
+invalidation cannot shift any stream — continuous mobility stays
+byte-identical between the spatial and dense paths.  The
+``medium.repositions`` counter and the ``medium.idx.rebuilds`` /
+``medium.rows.rebuilt`` gauges (shell: ``stats medium.``) account for
+the moves and the rebuild fallout they cause.
+
 and draws fading, reception, RSSI, and LQI as *batched* RNG calls.  A
 numpy Generator fills an array from the same bitstream as repeated scalar
 draws, and the batches run in the same sorted-id order the scalar loops
@@ -169,8 +188,9 @@ class Transceiver:
     @position.setter
     def position(self, value: tuple[float, float]) -> None:
         self._position = (float(value[0]), float(value[1]))
-        # Moving a node changes every pairwise distance through it; the
-        # medium updates only the affected spatial-index buckets.
+        # Moving a node changes only the pairwise distances through it;
+        # the medium updates the affected spatial-index buckets and
+        # invalidates just the neighborhoods of the old and new position.
         self.medium._reposition(self.node_id, self._position)
 
     def set_receive_handler(
@@ -307,6 +327,14 @@ class RadioMedium:
             "medium.candidates.considered")
         self._gauge_pruned = monitor.registry.gauge(
             "medium.candidates.pruned")
+        #: Per-move invalidation fallout: how many candidate indexes and
+        #: mean-loss rows were actually rebuilt.  Gauges, not counters,
+        #: so golden counter fixtures are untouched by the bookkeeping
+        #: (the same choice the candidate gauges made).
+        self._gauge_idx_rebuilds = monitor.registry.gauge(
+            "medium.idx.rebuilds")
+        self._gauge_rows_rebuilt = monitor.registry.gauge(
+            "medium.rows.rebuilt")
         # Lazily bound handles for the per-receiver counters (created on
         # first increment so untouched counters stay out of snapshots).
         self._c_halfduplex = None
@@ -314,9 +342,22 @@ class RadioMedium:
         self._c_lost = None
         self._c_corrupt = None
         self._c_tx = None
+        self._c_repositions = None
         self._h_lqi = None
         # -- cached vectorized state (see module docstring) -------------
-        self._topo_version = 0       # bumped on attach / reposition
+        #: Global geometry epoch: bumped on attach and on any move the
+        #: grid cannot localize (grid not built yet).  The *localized*
+        #: path bumps only the per-node entries in ``_nbr_epoch``.
+        self._geom_epoch = 0
+        #: Per-node neighborhood epoch: bumped when a move could have
+        #: changed this node's in-range candidate membership (the mover
+        #: entered or left the node's conservative range disk).  Absent
+        #: means 0 — nodes nothing ever moved near pay one dict miss.
+        self._nbr_epoch: dict[int, int] = {}
+        #: Total repositions ever applied (the dense index token: with
+        #: the spatial index off, the shared per-channel index snapshots
+        #: every member's position, so any move invalidates it).
+        self._moves = 0
         self._chan_version = 0       # bumped on any channel change
         self._power_version = 0      # bumped on any PA-level change
         self._member_epoch = 0       # bumped on attach only
@@ -356,7 +397,7 @@ class RadioMedium:
         xcvr.config._listener = self._invalidate_channels
         xcvr.config._power_listener = self._invalidate_power
         self._member_epoch += 1
-        self._topo_version += 1
+        self._geom_epoch += 1
         if self._grid is not None:
             # Keep the grid warm: an attach touches one bucket.
             self._grid.insert(node_id, xcvr._position)
@@ -385,15 +426,45 @@ class RadioMedium:
     def _invalidate_topology(self) -> None:
         """Full topology invalidation (membership or positions changed in
         a way we could not track incrementally)."""
-        self._topo_version += 1
+        self._geom_epoch += 1
+        self._moves += 1
         self._grid = None
 
     def _reposition(self, node_id: int, position: tuple[float, float]) -> None:
-        """A node moved: update only its spatial-index bucket."""
-        self._topo_version += 1
+        """A node moved: update its spatial-index bucket and invalidate
+        only the neighborhoods the move could have changed.
+
+        The candidate membership of a sender ``S`` changes only if the
+        mover crossed ``S``'s conservative range disk — equivalently, if
+        ``S`` sits within the range bound of the mover's old *or* new
+        position (range adjacency is symmetric).  Two grid queries find
+        exactly those senders; everyone else keeps their cached index
+        and mean-loss row.  Without a warm grid (nothing has transmitted
+        yet, or a range change just dropped it) there is no cheap
+        neighborhood test, so the move falls back to the global epoch —
+        correct, and free, because no cache is warm in that state.
+        """
+        self._moves += 1
+        c = self._c_repositions
+        if c is None:
+            c = self._c_repositions = self.monitor.counter_obj(
+                "medium.repositions")
+        c.value += 1
         grid = self._grid
-        if grid is not None and node_id in grid:
-            grid.move(node_id, position)
+        if grid is None or node_id not in grid or self._range_m <= 0.0:
+            self._geom_epoch += 1
+            return
+        old = grid.position(node_id)
+        grid.move(node_id, position)
+        nbr = self._nbr_epoch
+        radius = self._range_m
+        affected = grid.within(old, radius)
+        for nid in affected:
+            nbr[nid] = nbr.get(nid, 0) + 1
+        seen = set(affected)
+        for nid in grid.within(position, radius):
+            if nid not in seen:
+                nbr[nid] = nbr.get(nid, 0) + 1
 
     def _invalidate_channels(self) -> None:
         self._chan_version += 1
@@ -455,12 +526,18 @@ class RadioMedium:
         self._ensure_range()
         spatial = self.use_spatial_index
         if spatial:
-            token = (self._topo_version, self._chan_version,
-                     self._range_version, True)
+            # Per-node invalidation: the token moves only when *this*
+            # sender's neighborhood epoch does (a node crossed its range
+            # disk), never on an unrelated move across the field.
+            token = (self._geom_epoch, self._nbr_epoch.get(sender_id, 0),
+                     self._chan_version, self._range_version, True)
             key: _t.Any = (sender_id, channel)
         else:
-            # Dense: the index is sender-independent, share it per channel.
-            token = (self._topo_version, self._chan_version, -1, False)
+            # Dense: the index is sender-independent, share it per
+            # channel — but it snapshots every member's position, so any
+            # move anywhere (``_moves``) invalidates it.
+            token = (self._geom_epoch, self._moves,
+                     self._chan_version, -1, False)
             key = channel
         idx = self._idx_cache.get(key)
         if idx is not None and idx.token == token:
@@ -483,6 +560,7 @@ class RadioMedium:
             positions = np.zeros((0, 2))
         idx = _CandidateIndex(channel, token, members, xcvrs, positions)
         self._idx_cache[key] = idx
+        self._gauge_idx_rebuilds.value += 1
         return idx
 
     def _channel_population(self, channel: int) -> int:
@@ -527,6 +605,7 @@ class RadioMedium:
         self._row_cache[(src, idx.channel)] = (
             idx, prop.shadowing_epoch, mean, sub_offsets
         )
+        self._gauge_rows_rebuilt.value += 1
         return mean, sub_offsets
 
     # -- carrier sense ---------------------------------------------------------

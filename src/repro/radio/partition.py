@@ -22,10 +22,24 @@ one (asserted by ``tests/radio/test_partition.py``), while dead regions
 cost nothing.
 
 Partitioning is computed lazily at the first traffic operation and
-recomputed — only while no frame is in flight — after membership,
-position, or power changes that could re-draw the component boundaries.
-A cross-component move while a frame is on the air takes effect at the
+recomputed — only while no frame is in flight — after membership or
+power changes that could re-draw the component boundaries.  A
+cross-component move while a frame is on the air takes effect at the
 next idle moment (frames are milliseconds; mobility is not).
+
+Moves are *batched* instead of triggering a repartition each: the facade
+keeps its own incremental :class:`SpatialGrid` over every attached node
+and, per move, checks whether the mover came within the adjacency radius
+of a node owned by a *different* child — the only way a stale component
+map could wrongly silence a link (a component that merely *should* split
+is coarser than optimal but still physically exact, because each child's
+own spatial pruning already skips the out-of-range members).  Only such
+boundary-merging moves, power changes, or every
+:attr:`PartitionedMedium.repartition_every` accumulated drift moves (the
+rebalance that re-splits drifted-apart components) mark the partition
+stale — so a patrol node walking inside its district advances the
+boundaries' bookkeeping by two grid-bucket updates per step, not a
+union-find over the whole city.
 """
 
 from __future__ import annotations
@@ -77,6 +91,21 @@ class PartitionedMedium:
         self._owner: dict[int, RadioMedium] = {}
         self._faults: _t.Any | None = None
         self._stale = True
+        #: Rebalance cadence: how many intra-component moves may batch
+        #: up before the next traffic operation re-runs the union-find
+        #: (splitting drifted-apart components).  Merges never wait —
+        #: a move entering a foreign component's radius marks the
+        #: partition stale immediately.
+        self.repartition_every = 256
+        #: How many times the union-find actually ran (tests and the
+        #: mobility bench assert batching keeps this o(moves)).
+        self.partition_builds = 0
+        self._moves_since_partition = 0
+        #: Facade-level grid over *all* attached nodes at the adjacency
+        #: radius, maintained incrementally so the per-move merge test
+        #: is one bucket move plus one neighborhood query.
+        self._grid: SpatialGrid | None = None
+        self._grid_radius = 0.0
 
     # -- membership --------------------------------------------------------
 
@@ -94,6 +123,9 @@ class PartitionedMedium:
         xcvr.config._listener = self._invalidate_channels
         xcvr.config._power_listener = self._invalidate_power
         self._xcvrs[node_id] = xcvr
+        if self._grid is not None:
+            # Keep the facade grid warm: an attach touches one bucket.
+            self._grid.insert(node_id, xcvr._position)
         self._stale = True
         return xcvr
 
@@ -151,13 +183,31 @@ class PartitionedMedium:
             child._invalidate_topology()
 
     def _reposition(self, node_id: int, position: tuple[float, float]) -> None:
-        # A move can cross a component boundary: mark the partition stale
-        # (rebuilt at the next idle traffic op) but keep the owning
-        # child's spatial buckets current meanwhile.
-        self._stale = True
+        # Keep the owning child's spatial buckets and per-node epochs
+        # current, then decide whether the *component boundaries* could
+        # have moved.  Only a merge risk (the mover is now within the
+        # adjacency radius of a foreign-owned node) forces an immediate
+        # repartition; pure drift batches up to ``repartition_every``
+        # moves before a rebalance pass re-splits drifted components —
+        # a coarse component map is still physically exact (each child
+        # prunes its own out-of-range members), just not minimal.
         child = self._owner.get(node_id)
         if child is not None:
             child._reposition(node_id, position)
+        grid = self._grid
+        if grid is None or node_id not in grid:
+            self._stale = True
+            return
+        grid.move(node_id, position)
+        if self._stale:
+            return
+        for other in grid.within(position, self._grid_radius):
+            if self._owner.get(other) is not child:
+                self._stale = True
+                return
+        self._moves_since_partition += 1
+        if self._moves_since_partition >= self.repartition_every:
+            self._stale = True
 
     def _invalidate_channels(self) -> None:
         # Channel assignments never affect component boundaries (range is
@@ -209,9 +259,16 @@ class PartitionedMedium:
             return
         ids = sorted(self._xcvrs)
         radius = self.max_range_m
-        grid = SpatialGrid(radius)
-        for nid in ids:
-            grid.insert(nid, self._xcvrs[nid]._position)
+        grid = self._grid
+        if (grid is None or self._grid_radius != radius
+                or len(grid) != len(ids)):
+            # (Re)build the facade grid: first partition, a power change
+            # that moved the adjacency radius, or membership drift.
+            grid = SpatialGrid(radius)
+            for nid in ids:
+                grid.insert(nid, self._xcvrs[nid]._position)
+            self._grid = grid
+            self._grid_radius = radius
         # Union-find over max-range adjacency.
         parent = {nid: nid for nid in ids}
 
@@ -252,6 +309,8 @@ class PartitionedMedium:
                 xcvr.config._power_listener = self._invalidate_power
                 self._owner[nid] = child
             self._children.append(child)
+        self.partition_builds += 1
+        self._moves_since_partition = 0
         self._stale = False
 
     def partitions(self) -> list[list[int]]:

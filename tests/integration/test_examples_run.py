@@ -71,6 +71,19 @@ def test_live_fleet(capsys):
     assert "recommendation: Restore the path between nodes" in out
 
 
+def test_mobile_patrol(capsys):
+    out = run_main("mobile_patrol", capsys)
+    assert "surveyor (node 7) patrols" in out
+    assert "beacons in range" in out
+    # The surveyor really heard links appear and die...
+    assert "joins" in out and "leaves" in out
+    assert "total churn over the patrol: 0 joins" not in out
+    # ...and the engine did not file the churn as link faults.
+    assert "0 link-degrade findings" in out
+    assert "false positives vs empty fault plan: 0" in out
+    assert "did not mistake mobility churn" in out
+
+
 def test_interactive_shell_canned_session(capsys, monkeypatch):
     monkeypatch.setattr(sys, "stdin", io.StringIO(""))  # not a tty
     out = run_main("interactive_shell", capsys)

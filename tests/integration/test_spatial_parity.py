@@ -64,6 +64,52 @@ def test_indexed_matches_dense_with_pruning_active():
     assert dense.medium.candidates_pruned == 0
 
 
+def test_mobile_run_indexed_matches_dense_with_pruning_active():
+    """The per-node-epoch refactor's acceptance proof: a run with
+    continuous motion — patrol nodes drifting across a pruning-active
+    city, crossing district gaps — is byte-identical between the
+    incremental spatial path and the dense path."""
+    from repro.radio import MobilityPlan, MobilitySpec, install_mobility
+
+    plan = MobilityPlan(name="parity-patrol", specs=(
+        # One node drifts from district (0,0) toward district (1,0),
+        # crossing the inter-district gap (membership churn both sides).
+        MobilitySpec(kind="linear_drift", at=5.0, duration=20.0,
+                     nodes=(3,), velocity=(70.0, 0.0),
+                     update_every=0.5),
+        # Another wanders stochastically inside its own district.
+        MobilitySpec(kind="random_waypoint", at=2.0, duration=25.0,
+                     nodes=(8,), area=(1500.0, 0.0, 1800.0, 300.0),
+                     speed=(2.0, 6.0)),
+    ))
+
+    def factory():
+        testbed = build_city(2, 2, 6, pitch=1500.0, seed=9,
+                             propagation_kwargs=QUIET_PROPAGATION)
+        install_mobility(testbed, plan)
+        return testbed
+
+    dense = _run(factory, False)
+    indexed = _run(factory, True)
+    assert dense.monitor.packet_digest() == indexed.monitor.packet_digest()
+    dense_counters = dict(dense.monitor.counters)
+    indexed_counters = dict(indexed.monitor.counters)
+    # Same femtowatt-interference caveat as the static pruning test.
+    assert dense_counters.pop("medium.interfered_receptions", 0) >= \
+        indexed_counters.pop("medium.interfered_receptions", 0)
+    assert dense_counters == indexed_counters
+    # Not vacuous: nodes really moved, pruning really ran, and the
+    # moves really took the incremental path (per-node epochs), not a
+    # global invalidation.
+    assert indexed.monitor.counter("mobility.updates") > 50
+    assert indexed.monitor.counter("medium.repositions") > 50
+    assert indexed.medium.candidates_pruned > 0
+    registry = indexed.monitor.registry
+    rebuilds = registry.gauge("medium.idx.rebuilds").value
+    assert 0 < rebuilds < indexed.monitor.counter("medium.repositions") * \
+        len(indexed.nodes())
+
+
 def test_candidate_gauges_and_stats_view():
     testbed = build_city(2, 1, 6, pitch=1500.0, seed=9,
                          propagation_kwargs=QUIET_PROPAGATION)

@@ -120,3 +120,93 @@ def test_completed_transmissions_release_overlap_links(quiet_world):
     # generation may survive, and none may still hold overlap links.
     assert len(live) <= len(xcvrs)
     assert all(not tx.overlapping and not tx.overlap_senders for tx in live)
+
+
+# -- per-node epochs (time-varying geometry) --------------------------------
+#
+# A move must invalidate exactly the senders whose in-range membership
+# could have changed: everyone within the range bound of the mover's old
+# or new position.  Object identity of the cached _CandidateIndex is the
+# strongest observable — "is" proves the far cluster's caches were never
+# touched, not merely rebuilt to equal contents.
+
+FAR = 500_000.0  # way beyond any conservative range bound
+
+
+def _two_clusters(m):
+    a1 = m.attach(1, (0.0, 0.0))
+    a2 = m.attach(2, (5.0, 0.0))
+    b1 = m.attach(3, (FAR, 0.0))
+    b2 = m.attach(4, (FAR + 5.0, 0.0))
+    return a1, a2, b1, b2
+
+
+def test_unrelated_move_keeps_far_senders_caches(quiet_world):
+    m = quiet_world.medium
+    a1, a2, b1, _ = _two_clusters(m)
+    ch = a1.config.channel
+    idx_a = m._cand_index(1, ch)
+    idx_b = m._cand_index(3, ch)
+    row_b = m._mean_loss_row(3, idx_b)
+    rebuilds = m._gauge_idx_rebuilds.value
+    rows = m._gauge_rows_rebuilt.value
+
+    a2.position = (6.0, 0.0)  # drifts inside cluster A only
+
+    assert m._cand_index(3, ch) is idx_b          # far sender: untouched
+    assert m._mean_loss_row(3, idx_b)[0] is row_b[0]
+    assert m._cand_index(1, ch) is not idx_a      # neighborhood: rebuilt
+    assert m._gauge_idx_rebuilds.value == rebuilds + 1
+    assert m._gauge_rows_rebuilt.value == rows    # no row recomputed
+
+
+def test_mover_sees_its_own_move(quiet_world):
+    """The mover is always inside its own new neighborhood, so its own
+    candidate index rebuilds even when nobody else is in range."""
+    m = quiet_world.medium
+    lone = m.attach(1, (0.0, 0.0))
+    m.attach(2, (FAR, 0.0))
+    ch = lone.config.channel
+    idx = m._cand_index(1, ch)
+
+    lone.position = (10.0, 0.0)
+    assert m._cand_index(1, ch) is not idx
+
+
+def test_cold_move_falls_back_to_global_epoch(quiet_world):
+    """Without a warm grid there is no cheap neighborhood test: the move
+    must bump the global epoch (correct, and free — no cache is warm)."""
+    m = quiet_world.medium
+    a = m.attach(1, (0.0, 0.0))
+    geom = m._geom_epoch
+    a.position = (5.0, 0.0)
+    assert m._geom_epoch == geom + 1
+
+
+def test_dense_index_invalidates_on_any_move(quiet_world):
+    """The dense (no-pruning) index snapshots every position, so a move
+    anywhere must invalidate it — the ``_moves`` token guards that."""
+    m = quiet_world.medium
+    m.use_spatial_index = False
+    a1, _, b2 = m.attach(1, (0.0, 0.0)), m.attach(2, (5.0, 0.0)), \
+        m.attach(3, (FAR, 0.0))
+    ch = a1.config.channel
+    # Warm the spatial caches too, so the incremental move path runs.
+    m.use_spatial_index = True
+    m._cand_index(1, ch)
+    m.use_spatial_index = False
+    idx = m._cand_index(1, ch)
+
+    b2.position = (FAR + 1.0, 0.0)  # far away, but dense sees everyone
+    assert m._cand_index(1, ch) is not idx
+
+
+def test_reposition_counter_is_lazy(quiet_world):
+    """``medium.repositions`` must stay out of counter snapshots until a
+    node actually moves (golden fixtures snapshot all live counters)."""
+    m = quiet_world.medium
+    a = m.attach(1, (0.0, 0.0))
+    assert "medium.repositions" not in m.monitor.counters
+    a.position = (1.0, 0.0)
+    a.position = (2.0, 0.0)
+    assert m.monitor.counter("medium.repositions") == 2

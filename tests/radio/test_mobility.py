@@ -1,0 +1,244 @@
+"""The mobility subsystem: specs, models, driver, and determinism.
+
+Mirrors the fault-plan contracts (``tests/faults``): validation rejects
+inconsistent specs, plans round-trip through canonical JSON, inert
+plans install nothing and leave packet digests byte-identical, and the
+same seed + plan reproduces the same trajectories bit-for-bit with all
+randomness confined to the dedicated ``"mobility"`` stream.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.radio import (
+    MOBILITY_KINDS,
+    MobilityDriver,
+    MobilityPlan,
+    MobilitySpec,
+    install_mobility,
+)
+from repro.workloads import build_chain
+from repro.workloads.scenarios import QUIET_PROPAGATION
+
+
+def make_chain(n=3, seed=7):
+    return build_chain(n, spacing=60.0, seed=seed,
+                       propagation_kwargs=QUIET_PROPAGATION)
+
+
+def drift(node=2, at=1.0, duration=4.0, velocity=(5.0, 0.0), **kw):
+    return MobilitySpec(kind="linear_drift", at=at, duration=duration,
+                        nodes=(node,), velocity=velocity, **kw)
+
+
+def install(tb, *specs, name="test"):
+    return install_mobility(tb, MobilityPlan(name=name, specs=tuple(specs)))
+
+
+# -- spec validation ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(kind="teleport", nodes=(1,)),
+    dict(kind="linear_drift", nodes=()),                    # no scope
+    dict(kind="linear_drift", nodes=(1,)),                  # no velocity
+    dict(kind="linear_drift", nodes=(1,), velocity=(1, 0)),  # no duration
+    dict(kind="linear_drift", nodes=(1,), velocity=(1, 0),
+         duration=-2.0),
+    dict(kind="linear_drift", nodes=(1,), velocity=(1, 0), duration=1.0,
+         at=-1.0),
+    dict(kind="linear_drift", nodes=(1,), velocity=(1, 0), duration=1.0,
+         update_every=0.0),
+    dict(kind="waypoint", nodes=(1,)),                      # no waypoints
+    dict(kind="waypoint", nodes=(1,),
+         waypoints=((2.0, 0, 0), (1.0, 5, 5))),             # not increasing
+    dict(kind="waypoint", nodes=(1,), waypoints=((-1.0, 0, 0),)),
+    dict(kind="random_waypoint", nodes=(1,), duration=5.0,
+         speed=(1.0, 2.0)),                                 # no area
+    dict(kind="random_waypoint", nodes=(1,), duration=5.0,
+         area=(0, 0, 10, 0), speed=(1.0, 2.0)),             # degenerate
+    dict(kind="random_waypoint", nodes=(1,), duration=5.0,
+         area=(0, 0, 10, 10), speed=(2.0, 1.0)),            # vmin > vmax
+    dict(kind="random_waypoint", nodes=(1,), duration=5.0,
+         area=(0, 0, 10, 10), speed=(0.0, 1.0)),            # vmin == 0
+    dict(kind="random_waypoint", nodes=(1,),
+         area=(0, 0, 10, 10), speed=(1.0, 2.0)),            # no duration
+    dict(kind="random_waypoint", nodes=(1,), duration=5.0,
+         area=(0, 0, 10, 10), speed=(1.0, 2.0), pause_s=-1.0),
+])
+def test_invalid_specs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        MobilitySpec(**kwargs)
+
+
+def test_all_kinds_have_models():
+    from repro.radio.mobility import MODELS
+    assert set(MODELS) == set(MOBILITY_KINDS)
+
+
+# -- serialisation -----------------------------------------------------------
+
+
+def test_plan_round_trips_through_canonical_json():
+    plan = MobilityPlan(name="tour", specs=(
+        drift(),
+        MobilitySpec(kind="waypoint", at=2.0, nodes=(1, 3),
+                     waypoints=((1.0, 10.0, 0.0), (3.0, 10.0, 20.0))),
+        MobilitySpec(kind="random_waypoint", at=0.0, duration=30.0,
+                     nodes=(2,), area=(0.0, 0.0, 100.0, 100.0),
+                     speed=(1.0, 3.0), pause_s=2.0),
+    ))
+    param = plan.to_param()
+    assert MobilityPlan.from_param(param) == plan
+    assert MobilityPlan.from_param(param).to_param() == param
+    # Canonical: key order in the JSON is sorted, separators compact.
+    assert json.loads(param) == plan.to_dict()
+    assert " " not in param
+
+
+def test_from_param_accepts_all_forms():
+    plan = MobilityPlan(specs=(drift(),))
+    assert MobilityPlan.from_param(plan) is plan
+    assert MobilityPlan.from_param(plan.to_dict()) == plan
+    assert not MobilityPlan.from_param(None).is_active
+    assert not MobilityPlan.from_param("null").is_active
+    assert not MobilityPlan().is_active
+    assert not MobilityPlan(enabled=False, specs=(drift(),)).is_active
+
+
+# -- models ------------------------------------------------------------------
+
+
+def test_linear_drift_moves_at_velocity():
+    tb = make_chain()
+    start = tb.node(2).position
+    driver = install(tb, drift(node=2, at=1.0, duration=4.0,
+                               velocity=(5.0, -2.0)))
+    assert isinstance(driver, MobilityDriver)
+    tb.run(until=3.0)  # 2 s into the drift
+    x, y = tb.node(2).position
+    assert x == pytest.approx(start[0] + 5.0 * 2.0)
+    assert y == pytest.approx(start[1] - 2.0 * 2.0)
+    tb.run(until=10.0)  # drift over: parked at the endpoint
+    x, y = tb.node(2).position
+    assert x == pytest.approx(start[0] + 5.0 * 4.0)
+    assert y == pytest.approx(start[1] - 2.0 * 4.0)
+    assert driver.updates[2] == 4  # 1 s cadence over 4 s
+    assert tb.monitor.counter("mobility.updates") == 4
+    assert driver.activations == {"linear_drift": 1}
+
+
+def test_waypoint_tour_hits_each_waypoint_exactly():
+    tb = make_chain()
+    install(tb, MobilitySpec(
+        kind="waypoint", at=1.0, nodes=(2,), update_every=0.25,
+        waypoints=((2.0, 100.0, 50.0), (5.0, 100.0, -10.0))))
+    tb.run(until=3.0)  # first waypoint offset reached at t=3.0
+    assert tb.node(2).position == pytest.approx((100.0, 50.0))
+    tb.run(until=4.5)  # halfway through the second leg
+    assert tb.node(2).position == pytest.approx((100.0, 20.0))
+    tb.run(until=6.0)
+    assert tb.node(2).position == pytest.approx((100.0, -10.0))
+
+
+def test_random_waypoint_stays_in_area_and_moves():
+    tb = make_chain()
+    area = (0.0, 0.0, 200.0, 200.0)
+    start = tb.node(2).position
+    driver = install(tb, MobilitySpec(
+        kind="random_waypoint", at=0.0, duration=20.0,
+        nodes=(2,), area=area, speed=(5.0, 10.0)))
+
+    trail = []
+    apply = driver._apply
+
+    def recording_apply(node_id, position):
+        trail.append(position)
+        apply(node_id, position)
+
+    driver._apply = recording_apply
+    tb.run(until=20.0)
+    assert tb.node(2).position != start
+    assert len(trail) >= 15  # ≥5 m/s for 20 s on a 1 s cadence
+    assert all(-1e-9 <= x <= 200.0 + 1e-9
+               and -1e-9 <= y <= 200.0 + 1e-9 for x, y in trail)
+
+
+def test_random_waypoint_pause_reduces_updates():
+    """A pause between legs spends itinerary time standing still."""
+    def updates(pause_s):
+        tb = make_chain()
+        driver = install(tb, MobilitySpec(
+            kind="random_waypoint", at=0.0, duration=30.0, nodes=(2,),
+            area=(0.0, 0.0, 60.0, 60.0), speed=(10.0, 10.0),
+            pause_s=pause_s))
+        tb.run(until=30.0)
+        return driver.updates.get(2, 0)
+
+    assert updates(10.0) < updates(0.0)
+
+
+def test_multi_node_spec_activates_each_node():
+    tb = make_chain()
+    driver = install(tb, MobilitySpec(
+        kind="linear_drift", at=0.0, duration=3.0, nodes=(1, 2, 3),
+        velocity=(0.0, 2.0)))
+    tb.run(until=5.0)
+    assert driver.activations == {"linear_drift": 3}
+    assert set(driver.updates) == {1, 2, 3}
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def _digest(seed, plan):
+    tb = make_chain(seed=seed)
+    install_mobility(tb, plan)
+    tb.run(until=8.0)
+    return tb.monitor.packet_digest()
+
+
+def test_inert_plans_install_nothing():
+    tb = make_chain()
+    assert install_mobility(tb, None) is None
+    assert install_mobility(tb, MobilityPlan()) is None
+    assert install_mobility(tb, MobilityPlan(enabled=False,
+                                             specs=(drift(),))) is None
+    assert tb.monitor.counter("mobility.updates") == 0
+    assert "mobility.updates" not in tb.monitor.counters
+
+
+def test_inert_plan_is_byte_identical_to_no_plan():
+    plan = MobilityPlan(enabled=False, specs=(drift(),))
+    assert _digest(11, plan) == _digest(11, None)
+
+
+def test_active_plan_changes_the_run_but_reproducibly():
+    plan = MobilityPlan(specs=(
+        drift(node=2, at=1.0, duration=6.0, velocity=(40.0, 0.0)),))
+    assert _digest(11, plan) == _digest(11, plan)
+    assert _digest(11, plan) != _digest(11, None)
+
+
+_rwp = st.builds(
+    MobilitySpec,
+    kind=st.just("random_waypoint"),
+    at=st.floats(0.0, 3.0, allow_nan=False),
+    duration=st.floats(1.0, 6.0, allow_nan=False),
+    nodes=st.lists(st.integers(1, 3), min_size=1, max_size=2,
+                   unique=True).map(tuple),
+    area=st.just((0.0, -50.0, 200.0, 50.0)),
+    speed=st.just((2.0, 8.0)),
+    pause_s=st.floats(0.0, 2.0, allow_nan=False),
+)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=_rwp, seed=st.integers(1, 1000))
+def test_random_motion_same_seed_is_bit_identical(spec, seed):
+    plan = MobilityPlan(name="prop", specs=(spec,))
+    assert _digest(seed, plan) == _digest(seed, plan)

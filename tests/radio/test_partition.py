@@ -64,6 +64,98 @@ def test_partitioned_run_is_bit_identical(propagation):
     assert counters[0] == counters[1]
 
 
+# -- time-varying geometry: merges, splits, batching ------------------------
+
+
+def test_move_across_gap_merges_components():
+    """A node walking into the other island's radio range must merge the
+    components *immediately* — a missed merge would wrongly silence real
+    links (unlike a missed split, which is only coarser than optimal)."""
+    testbed = _two_islands(True)
+    medium = testbed.medium
+    assert len(medium.partitions()) == 2
+    builds = medium.partition_builds
+
+    mover = testbed.nodes()[0]
+    target = testbed.nodes()[-1]
+    mover.position = (target.position[0] + 10.0, target.position[1])
+
+    parts = medium.partitions()
+    assert medium.partition_builds == builds + 1
+    assert sorted(len(p) for p in parts) == [7, 9]
+    merged = next(p for p in parts if mover.id in p)
+    assert len(merged) == 9 and target.id in merged
+
+
+def test_intra_component_moves_batch_until_rebalance():
+    """Drift inside a component advances two grid buckets per move, not a
+    union-find: the partition is rebuilt only at the rebalance cadence."""
+    testbed = _two_islands(True)
+    medium = testbed.medium
+    medium.repartition_every = 8
+    medium.partitions()
+    builds = medium.partition_builds
+
+    mover = testbed.nodes()[0]
+    x, y = mover.position
+    for step in range(1, 8):
+        mover.position = (x + 0.1 * step, y)
+        medium.partitions()
+    assert medium.partition_builds == builds  # 7 moves: all batched
+
+    mover.position = (x, y)  # 8th move hits the cadence
+    medium.partitions()
+    assert medium.partition_builds == builds + 1
+
+
+def test_split_defers_but_still_prunes_exactly():
+    """A node drifting out of its island leaves the component map coarse
+    (one oversized component) until the rebalance — but the stale map is
+    still physically exact, because the child's own spatial pruning skips
+    the now-out-of-range member.  The rebalance then splits it off."""
+    testbed = _two_islands(True)
+    medium = testbed.medium
+    medium.repartition_every = 4
+    assert len(medium.partitions()) == 2
+    mover = testbed.nodes()[0]
+    x, y = mover.position
+
+    # One big hop straight down: far from both islands, near neither.
+    mover.position = (x, y - 800.0)
+    parts = medium.partitions()
+    assert len(parts) == 2          # coarse: mover still filed under A
+    assert mover.id in parts[0]
+
+    for step in range(1, 4):        # drift until the cadence triggers
+        mover.position = (x + 0.1 * step, y - 800.0)
+        medium.partitions()
+    parts = medium.partitions()
+    assert len(parts) == 3          # rebalanced: the loner split off
+    assert [mover.id] in parts
+
+
+def test_mobile_partitioned_run_is_bit_identical():
+    """The end-to-end merge-correctness proof: a node crossing the gap
+    mid-run produces byte-identical packet logs partitioned or not."""
+    digests = []
+    counters = []
+    for partitioned in (False, True):
+        testbed = _two_islands(partitioned)
+        mover = testbed.nodes()[2]
+        target = testbed.nodes()[-3]
+
+        def cross(mover=mover, target=target):
+            mover.position = (target.position[0] + 12.0,
+                              target.position[1] + 3.0)
+
+        testbed.env.call_at(12.0, cross)
+        deploy_liteview(testbed, warm_up=30.0)
+        digests.append(testbed.monitor.packet_digest())
+        counters.append(testbed.monitor.counters)
+    assert digests[0] == digests[1]
+    assert counters[0] == counters[1]
+
+
 def test_partition_facade_aggregates_candidate_accounting():
     testbed = _two_islands(True)
     deploy_liteview(testbed, warm_up=20.0)

@@ -97,6 +97,83 @@ def test_within_matches_brute_force_after_removals(points, removals,
     assert grid.within(query, r) == brute_force(table, query, r)
 
 
+#: Per-step displacements small relative to the cell size, so a
+#: drifting node needs several steps to cross a bucket boundary — the
+#: regime continuous mobility produces, and the one most likely to
+#: expose a stale-bucket bug: most steps leave the bucket unchanged,
+#: then one boundary crossing must rewrite it.
+step = st.tuples(
+    st.floats(min_value=-30.0, max_value=30.0,
+              allow_nan=False, allow_infinity=False),
+    st.floats(min_value=-30.0, max_value=30.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(deadline=None)
+@given(points=st.lists(position, min_size=2, max_size=20),
+       mover=st.integers(min_value=0, max_value=19),
+       steps=st.lists(step, min_size=1, max_size=40),
+       r=radius)
+def test_drift_trajectory_stays_exact_at_every_step(points, mover, steps, r):
+    """A continuous trajectory — many small moves, a few of which cross
+    cell boundaries — keeps ``within`` exact after *every* step, queried
+    from the moving node itself (exactly how the medium queries around a
+    repositioned sender to find its affected neighbors)."""
+    grid, table = populated(points)
+    nid = mover % len(points)
+    for dx, dy in steps:
+        x, y = table[nid]
+        grid.move(nid, (x + dx, y + dy))
+        table[nid] = grid.position(nid)
+        assert grid.within(table[nid], r) == \
+            brute_force(table, table[nid], r)
+
+
+@settings(deadline=None)
+@given(points=st.lists(position, min_size=1, max_size=12),
+       velocities=st.lists(step, min_size=1, max_size=12),
+       n_steps=st.integers(min_value=1, max_value=25),
+       query=position, r=radius)
+def test_concurrent_drift_keeps_fixed_query_exact(points, velocities,
+                                                  n_steps, query, r):
+    """Every node drifting at once at its own constant velocity, so
+    trajectories cross cell boundaries on different steps — a fixed
+    observer query must stay exact after every tick (the guard ring may
+    never lag a re-bucketed neighbor)."""
+    grid, table = populated(points)
+    for _ in range(n_steps):
+        for nid in sorted(table):
+            vx, vy = velocities[nid % len(velocities)]
+            x, y = table[nid]
+            grid.move(nid, (x + vx, y + vy))
+            table[nid] = grid.position(nid)
+        assert grid.within(query, r) == brute_force(table, query, r)
+
+
+def test_boundary_riding_drift_is_exact():
+    """A mover sliding exactly along a bucket edge (y == CELL) lands on
+    a boundary lattice point every other step; the ring query around it
+    must stay exact through each re-bucketing."""
+    grid = SpatialGrid(CELL)
+    table = {}
+    lattice = [(i, (ix * CELL, iy * CELL))
+               for i, (ix, iy) in enumerate(
+                   (ix, iy) for ix in range(-1, 8) for iy in range(-1, 3))]
+    for nid, pos in lattice:
+        grid.insert(nid, pos)
+        table[nid] = grid.position(nid)
+    mover = len(lattice)
+    grid.insert(mover, (0.0, CELL))
+    table[mover] = grid.position(mover)
+    for k in range(1, 13):  # six full cells, half a cell per step
+        grid.move(mover, (k * CELL / 2.0, CELL))
+        table[mover] = grid.position(mover)
+        got = grid.within(table[mover], CELL)
+        assert got == brute_force(table, table[mover], CELL)
+        assert mover in got  # inclusive of itself at radius >= 0
+
+
 def test_node_exactly_on_query_circle_is_included():
     grid = SpatialGrid(CELL)
     grid.insert(1, (CELL, 0.0))
